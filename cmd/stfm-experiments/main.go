@@ -1,0 +1,74 @@
+// Command stfm-experiments regenerates the tables and figures of the
+// paper's evaluation (Section 7). Run with no flags to execute the
+// whole suite at interactive scale, -full for the complete workload
+// sweeps, or -run id[,id...] for specific experiments.
+//
+// Usage:
+//
+//	stfm-experiments [-run fig6,fig9] [-full] [-instrs 200000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"stfm/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "comma-separated experiment ids (default: all); known: "+strings.Join(experiments.SortedIDs(), ","))
+		full   = flag.Bool("full", false, "run complete workload sweeps (256 4-core mixes, 32 8-core mixes)")
+		instrs = flag.Int64("instrs", 200_000, "per-thread instruction budget")
+		seed   = flag.Uint64("seed", 1, "workload generation seed")
+		outDir = flag.String("o", "", "also write each report to <dir>/<id>.txt")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.InstrTarget = *instrs
+	opts.Seed = *seed
+	runner := experiments.NewRunner(opts)
+
+	var list []experiments.Experiment
+	if *run == "" {
+		list = experiments.All(*full)
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id), *full)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			list = append(list, e)
+		}
+	}
+
+	for _, e := range list {
+		start := time.Now()
+		rep, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command stfm-sim runs one multiprogrammed workload on the simulated
+// CMP and prints per-thread performance, slowdowns, and the fairness
+// and throughput metrics under a chosen DRAM scheduling policy.
+//
+// Usage:
+//
+//	stfm-sim -workload mcf,libquantum,GemsFDTD,astar -policy STFM
+//	stfm-sim -workload mcf,libquantum -policy NFQ -instrs 500000
+//	stfm-sim -workload desktop -policy FR-FCFS
+//	stfm-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stfm/internal/core"
+	"stfm/internal/dram"
+	"stfm/internal/experiments"
+	"stfm/internal/sim"
+	"stfm/internal/trace"
+	"stfm/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mcf,libquantum", "comma-separated benchmark names, or 'desktop'")
+		policy   = flag.String("policy", "STFM", "scheduler: FR-FCFS, FCFS, FRFCFS+Cap, NFQ, STFM")
+		instrs   = flag.Int64("instrs", 300_000, "per-thread instruction budget")
+		seed     = flag.Uint64("seed", 1, "trace generation seed")
+		alpha    = flag.Float64("alpha", 1.10, "STFM maximum tolerable unfairness")
+		weights  = flag.String("weights", "", "comma-separated thread weights (STFM weights / NFQ shares)")
+		caches   = flag.Bool("caches", false, "simulate the full L1/L2 hierarchy instead of miss streams")
+		refresh  = flag.Bool("refresh", false, "enable DRAM auto-refresh (tREFI/tRFC)")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC CPU2006 profiles (Table 3):")
+		for _, p := range trace.SPEC2006() {
+			fmt.Printf("  %-12s MPKI %7.2f  RBhit %5.1f%%  category %d\n", p.Name, p.MPKI, p.RowHit*100, p.Category)
+		}
+		fmt.Println("Desktop profiles (Table 4):")
+		for _, p := range trace.Desktop() {
+			fmt.Printf("  %-18s MPKI %7.2f  RBhit %5.1f%%\n", p.Name, p.MPKI, p.RowHit*100)
+		}
+		return
+	}
+
+	var profs []trace.Profile
+	var err error
+	if *workload == "desktop" {
+		profs = workloads.Desktop().Profiles
+	} else {
+		profs, err = experiments.Profiles(strings.Split(*workload, ",")...)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	w, err := parseWeights(*weights, len(profs))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.InstrTarget = *instrs
+	opts.Seed = *seed
+	runner := experiments.NewRunner(opts)
+	wr, err := runner.RunWorkload(sim.PolicyKind(*policy), profs, func(c *sim.Config) {
+		c.UseCaches = *caches
+		c.STFM = core.DefaultConfig()
+		c.STFM.Alpha = *alpha
+		if w != nil {
+			c.STFM.Weights = w
+			c.NFQWeights = w
+		}
+		if *refresh {
+			tm := dram.DefaultTiming().WithRefresh()
+			c.Timing = &tm
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("policy %s, %d threads, %d instructions/thread\n\n", *policy, len(profs), *instrs)
+	fmt.Printf("%-18s %8s %8s %8s %9s %9s %9s %8s %8s\n", "thread", "IPC", "MCPI", "slowdown", "DRAMreads", "rowhit%", "avglat", "p95lat", "p99lat")
+	for i, th := range wr.Shared {
+		fmt.Printf("%-18s %8.3f %8.3f %8.2f %9d %8.1f%% %9.0f %8d %8d\n",
+			th.Benchmark, th.IPC, th.MCPI, wr.Slowdowns[i], th.DRAMReads, th.RowHitRate*100, th.AvgReadLatency,
+			th.P95ReadLatency, th.P99ReadLatency)
+	}
+	fmt.Printf("\nunfairness       %8.3f\n", wr.Unfairness)
+	fmt.Printf("weighted speedup %8.3f\n", wr.WeightedSpeedup)
+	fmt.Printf("hmean speedup    %8.3f\n", wr.HmeanSpeedup)
+	fmt.Printf("sum of IPCs      %8.3f\n", wr.SumIPC)
+}
+
+func parseWeights(s string, n int) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("got %d weights for %d threads", len(parts), n)
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stfm-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,191 @@
+// Command stfm-sweep runs parameter sweeps over the simulation and
+// emits CSV for plotting: vary one knob (alpha, banks, row-buffer
+// size, channels, cores, marking cap) across a workload and record
+// fairness and throughput per scheduler.
+//
+// Usage:
+//
+//	stfm-sweep -knob alpha -workload mcf,libquantum,GemsFDTD,astar
+//	stfm-sweep -knob banks -policies FR-FCFS,STFM
+//	stfm-sweep -knob cores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stfm/internal/core"
+	"stfm/internal/dram"
+	"stfm/internal/experiments"
+	"stfm/internal/sim"
+	"stfm/internal/trace"
+)
+
+func main() {
+	var (
+		knob     = flag.String("knob", "alpha", "what to sweep: alpha, banks, rowbuffer, channels, cores, cap")
+		workload = flag.String("workload", "mcf,libquantum,GemsFDTD,astar", "comma-separated benchmarks")
+		policies = flag.String("policies", "", "schedulers to include (default depends on knob)")
+		instrs   = flag.Int64("instrs", 200_000, "per-thread instruction budget")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+	)
+	flag.Parse()
+
+	names := strings.Split(*workload, ",")
+	var pols []sim.PolicyKind
+	if *policies != "" {
+		for _, p := range strings.Split(*policies, ",") {
+			pols = append(pols, sim.PolicyKind(strings.TrimSpace(p)))
+		}
+	}
+
+	var err error
+	switch *knob {
+	case "alpha":
+		err = sweepAlpha(names, *instrs, *seed)
+	case "banks":
+		err = sweepGeometry(names, *instrs, *seed, pols, "banks", []int{4, 8, 16, 32})
+	case "rowbuffer":
+		err = sweepGeometry(names, *instrs, *seed, pols, "rowbuffer", []int{1, 2, 4, 8})
+	case "channels":
+		err = sweepChannels(names, *instrs, *seed, pols)
+	case "cores":
+		err = sweepCores(*instrs, *seed, pols)
+	case "cap":
+		err = sweepCap(names, *instrs, *seed)
+	default:
+		err = fmt.Errorf("unknown knob %q", *knob)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stfm-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func runner(instrs int64, seed uint64, geom *dram.Geometry, channels int) *experiments.Runner {
+	return experiments.NewRunner(experiments.Options{
+		InstrTarget: instrs, MinMisses: 150, Seed: seed, Geometry: geom, Channels: channels,
+	})
+}
+
+func profiles(names []string) ([]trace.Profile, error) {
+	return experiments.Profiles(names...)
+}
+
+func sweepAlpha(names []string, instrs int64, seed uint64) error {
+	profs, err := profiles(names)
+	if err != nil {
+		return err
+	}
+	fmt.Println("alpha,unfairness,weighted_speedup,hmean_speedup,sum_ipc")
+	r := runner(instrs, seed, nil, 0)
+	for _, alpha := range []float64{1.0, 1.02, 1.05, 1.1, 1.2, 1.5, 2, 5, 10, 20} {
+		a := alpha
+		wr, err := r.RunWorkload(sim.PolicySTFM, profs, func(c *sim.Config) {
+			c.STFM = core.DefaultConfig()
+			c.STFM.Alpha = a
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.2f,%.4f,%.4f,%.4f,%.4f\n", alpha, wr.Unfairness, wr.WeightedSpeedup, wr.HmeanSpeedup, wr.SumIPC)
+	}
+	return nil
+}
+
+func defaultPolicies(pols []sim.PolicyKind) []sim.PolicyKind {
+	if len(pols) > 0 {
+		return pols
+	}
+	return []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM}
+}
+
+func sweepGeometry(names []string, instrs int64, seed uint64, pols []sim.PolicyKind, kind string, vals []int) error {
+	profs, err := profiles(names)
+	if err != nil {
+		return err
+	}
+	pols = defaultPolicies(pols)
+	fmt.Printf("%s,policy,unfairness,weighted_speedup\n", kind)
+	for _, v := range vals {
+		g := dram.DefaultGeometry(1)
+		switch kind {
+		case "banks":
+			g.BanksPerChannel = v
+		case "rowbuffer":
+			g.RowBufferBytes = v * 1024 * 8 // per-chip KB x 8 chips
+		}
+		r := runner(instrs, seed, &g, 0)
+		for _, pol := range pols {
+			wr, err := r.RunWorkload(pol, profs, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d,%s,%.4f,%.4f\n", v, pol, wr.Unfairness, wr.WeightedSpeedup)
+		}
+	}
+	return nil
+}
+
+func sweepChannels(names []string, instrs int64, seed uint64, pols []sim.PolicyKind) error {
+	profs, err := profiles(names)
+	if err != nil {
+		return err
+	}
+	pols = defaultPolicies(pols)
+	fmt.Println("channels,policy,unfairness,weighted_speedup")
+	for _, ch := range []int{1, 2, 4} {
+		r := runner(instrs, seed, nil, ch)
+		for _, pol := range pols {
+			wr, err := r.RunWorkload(pol, profs, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d,%s,%.4f,%.4f\n", ch, pol, wr.Unfairness, wr.WeightedSpeedup)
+		}
+	}
+	return nil
+}
+
+// sweepCores scales the workload from 2 to 16 cores drawing
+// intensiveness-ordered benchmarks, the paper's scalability story.
+func sweepCores(instrs int64, seed uint64, pols []sim.PolicyKind) error {
+	all := trace.SPEC2006()
+	pols = defaultPolicies(pols)
+	fmt.Println("cores,policy,unfairness,weighted_speedup")
+	for _, n := range []int{2, 4, 8, 16} {
+		var profs []trace.Profile
+		for i := 0; i < n; i++ {
+			profs = append(profs, all[(i*len(all)/n)%len(all)])
+		}
+		r := runner(instrs, seed, nil, 0)
+		for _, pol := range pols {
+			wr, err := r.RunWorkload(pol, profs, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d,%s,%.4f,%.4f\n", n, pol, wr.Unfairness, wr.WeightedSpeedup)
+		}
+	}
+	return nil
+}
+
+func sweepCap(names []string, instrs int64, seed uint64) error {
+	profs, err := profiles(names)
+	if err != nil {
+		return err
+	}
+	fmt.Println("cap,unfairness,weighted_speedup")
+	r := runner(instrs, seed, nil, 0)
+	for _, cap := range []int{1, 2, 4, 8, 16, 64} {
+		cp := cap
+		wr, err := r.RunWorkload(sim.PolicyFRFCFSCap, profs, func(c *sim.Config) { c.CapValue = cp })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d,%.4f,%.4f\n", cap, wr.Unfairness, wr.WeightedSpeedup)
+	}
+	return nil
+}

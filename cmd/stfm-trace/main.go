@@ -1,0 +1,116 @@
+// Command stfm-trace inspects the synthetic workload generators: it
+// prints the statistical personality a generator realizes (inter-miss
+// gaps, row-run lengths, bank distribution, write ratio) and can dump
+// raw access streams for external analysis. This is the calibration
+// companion to Table 3: run it to verify a profile produces the
+// intended stream before simulating it.
+//
+// Usage:
+//
+//	stfm-trace -bench libquantum -n 100000
+//	stfm-trace -bench dealII -dump 50
+//	stfm-trace -bench mcf -n 200000 -o mcf.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stfm/internal/dram"
+	"stfm/internal/trace"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "mcf", "benchmark profile name")
+		n     = flag.Int64("n", 100_000, "accesses to generate for statistics")
+		dump  = flag.Int64("dump", 0, "dump this many raw accesses instead of statistics")
+		out   = flag.String("o", "", "write -n accesses to this file in the text trace format")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	prof, err := trace.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stfm-trace:", err)
+		os.Exit(1)
+	}
+	geom := dram.DefaultGeometry(1)
+	gen, err := trace.NewGenerator(prof, geom, 0, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stfm-trace:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stfm-trace:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteAccesses(f, gen, *n); err != nil {
+			fmt.Fprintln(os.Stderr, "stfm-trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "stfm-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d accesses of %s to %s\n", *n, prof.Name, *out)
+		return
+	}
+
+	if *dump > 0 {
+		fmt.Printf("%-10s %-6s %-12s %-4s %-6s %-6s %-5s\n", "gap", "kind", "lineaddr", "ch", "bank", "row", "col")
+		for i := int64(0); i < *dump; i++ {
+			a, _ := gen.Next()
+			loc := geom.Map(a.LineAddr)
+			kind := "LD"
+			if a.Kind == trace.Write {
+				kind = "WB"
+			}
+			fmt.Printf("%-10d %-6s %-12d %-4d %-6d %-6d %-5d\n", a.Gap, kind, a.LineAddr, loc.Channel, loc.Bank, loc.Row, loc.Column)
+		}
+		return
+	}
+
+	var (
+		instr, reads, writes int64
+		bankCount            = make([]int64, geom.BanksPerChannel)
+		rowHitsIfAlone       int64
+		lastRow              = map[int]int{} // bank -> last row
+	)
+	for i := int64(0); i < *n; i++ {
+		a, _ := gen.Next()
+		instr += a.Gap
+		loc := geom.Map(a.LineAddr)
+		if a.Kind == trace.Write {
+			writes++
+		} else {
+			reads++
+			instr++ // the memory instruction itself
+			if last, ok := lastRow[loc.Bank]; ok && last == loc.Row {
+				rowHitsIfAlone++
+			}
+		}
+		bankCount[loc.Bank]++
+		lastRow[loc.Bank] = loc.Row
+	}
+
+	fmt.Printf("profile %s: target MPKI %.2f, RBhit %.3f, duty %.2f, MLP %d, banks %d, writes %.2f\n",
+		prof.Name, prof.MPKI, prof.RowHit, prof.Duty, prof.MLP, prof.Banks, prof.WriteFraction)
+	fmt.Printf("generated %d reads, %d writebacks over %d instructions\n", reads, writes, instr)
+	fmt.Printf("realized MPKI        %8.2f\n", float64(reads)/float64(instr)*1000)
+	fmt.Printf("write/read ratio     %8.3f\n", float64(writes)/float64(reads))
+	fmt.Printf("stream row-hit rate  %8.3f (per-bank last-row estimate)\n", float64(rowHitsIfAlone)/float64(reads))
+	fmt.Printf("bank distribution:\n")
+	total := reads + writes
+	for b, c := range bankCount {
+		bar := ""
+		for i := int64(0); i < c*50/total; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  bank %2d %7.2f%% %s\n", b, float64(c)/float64(total)*100, bar)
+	}
+}

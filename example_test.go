@@ -1,0 +1,49 @@
+package stfm_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"stfm"
+)
+
+// ExampleRun shows the one-call entry point: simulate a workload under
+// STFM and read per-thread slowdowns. (Output omitted: absolute values
+// depend on the simulation scale chosen.)
+func ExampleRun() {
+	res, err := stfm.Run(stfm.Config{
+		Scheduler:    stfm.STFM,
+		Workload:     []string{"mcf", "libquantum"},
+		Instructions: 50_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, th := range res.Threads {
+		fmt.Printf("%s slowed down %.1fx\n", th.Benchmark, th.Slowdown)
+	}
+}
+
+// ExampleCompare contrasts schedulers on one workload while sharing
+// the cached alone-run baselines.
+func ExampleCompare() {
+	results, err := stfm.Compare(stfm.Config{
+		Workload:     []string{"mcf", "libquantum", "GemsFDTD", "astar"},
+		Instructions: 50_000,
+	}, stfm.FRFCFS, stfm.STFM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FR-FCFS unfairness %.2f, STFM %.2f\n",
+		results[stfm.FRFCFS].Unfairness, results[stfm.STFM].Unfairness)
+}
+
+// ExampleBenchmarks lists the built-in workload profiles by memory
+// intensity.
+func ExampleBenchmarks() {
+	bs := stfm.Benchmarks()
+	sort.Slice(bs, func(i, j int) bool { return bs[i].MPKI > bs[j].MPKI })
+	fmt.Printf("most intensive: %s (%.1f misses/kilo-instruction)\n", bs[0].Name, bs[0].MPKI)
+	// Output: most intensive: mcf (101.1 misses/kilo-instruction)
+}

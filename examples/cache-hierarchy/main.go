@@ -1,0 +1,55 @@
+// Cache hierarchy: run hot/cold cache workloads through the full
+// private L1/L2 stack (instead of the default miss-stream mode) and
+// watch how the hot-set size decides which level serves it — and how
+// much DRAM traffic survives the caches to be scheduled at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stfm/internal/sim"
+	"stfm/internal/trace"
+)
+
+func main() {
+	// Three workloads whose hot sets target L1 (32 KB = 512 lines),
+	// L2 (512 KB = 8192 lines), and memory respectively.
+	workloads := []trace.CacheWorkload{
+		{Name: "fits-L1", HotLines: 256, HotFraction: 0.95, ColdLines: 500_000, StoreFraction: 0.2, Gap: 6},
+		{Name: "fits-L2", HotLines: 6000, HotFraction: 0.95, ColdLines: 500_000, StoreFraction: 0.2, Gap: 6},
+		{Name: "thrashes", HotLines: 40_000, HotFraction: 0.95, ColdLines: 500_000, StoreFraction: 0.2, Gap: 6},
+	}
+
+	fmt.Printf("%-10s %8s %8s %10s %10s %8s\n", "workload", "L1 hit%", "L2 hit%", "DRAM reads", "writebacks", "IPC")
+	for _, w := range workloads {
+		s, err := trace.NewCacheStream(w, 0, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.DefaultConfig(sim.PolicyFRFCFS, 1)
+		cfg.InstrTarget = 150_000
+		cfg.UseCaches = true
+		cfg.Streams = []trace.Stream{s}
+		// The profile is only a label in stream mode.
+		prof, err := trace.ByName("mcf")
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof.Name = w.Name
+		sys, err := sim.NewSystem(cfg, []trace.Profile{prof})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := sys.Hierarchy(0)
+		th := res.Threads[0]
+		fmt.Printf("%-10s %7.1f%% %7.1f%% %10d %10d %8.3f\n",
+			w.Name, h.L1().HitRate()*100, h.L2().HitRate()*100, th.DRAMReads, th.DRAMWrites, th.IPC)
+	}
+	fmt.Println("\nThe scheduler only ever sees what the caches let through: the same")
+	fmt.Println("core-side behavior produces radically different DRAM-side pressure.")
+}

@@ -1,0 +1,92 @@
+// Custom traces: archive a workload's access stream to a portable
+// text format, read it back, and drive the simulator with it — the
+// path for bringing externally captured traces to the platform. The
+// same file format is documented in internal/trace/file.go:
+//
+//	<gap> <L|W> <lineAddr> [chain [dep]]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"stfm/internal/dram"
+	"stfm/internal/sim"
+	"stfm/internal/trace"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "stfm-traces")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Generate and archive two access streams.
+	geom := dram.DefaultGeometry(1)
+	names := []string{"mcf", "libquantum"}
+	var paths []string
+	for i, name := range names {
+		prof, err := trace.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := trace.NewGenerator(prof, geom, i, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".trace")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteAccesses(f, gen, 30_000); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		paths = append(paths, path)
+		fmt.Printf("archived %s\n", path)
+	}
+
+	// 2. Read the archived traces back and simulate them under STFM.
+	var streams []trace.Stream
+	var files []*os.File
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		files = append(files, f)
+		streams = append(streams, trace.NewFileStream(f))
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+
+	profs := make([]trace.Profile, len(names))
+	for i, n := range names {
+		profs[i], err = trace.ByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	cfg := sim.DefaultConfig(sim.PolicySTFM, len(names))
+	cfg.InstrTarget = 100_000
+	cfg.Streams = streams
+	res, err := sim.Run(cfg, profs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nsimulated from archived traces under STFM:")
+	for _, th := range res.Threads {
+		fmt.Printf("  %-12s IPC %.3f  MCPI %.3f  DRAM reads %d\n",
+			th.Benchmark, th.IPC, th.MCPI, th.DRAMReads)
+	}
+}

@@ -1,0 +1,35 @@
+// Quickstart: simulate a 4-core CMP whose cores run the paper's
+// case-study-I workload, first under the throughput-oriented FR-FCFS
+// scheduler and then under STFM, and show how STFM equalizes the
+// threads' memory slowdowns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stfm"
+)
+
+func main() {
+	workload := []string{"mcf", "libquantum", "GemsFDTD", "astar"}
+
+	// A Runner caches each benchmark's alone-run baseline, so
+	// comparing schedulers only simulates the shared runs twice.
+	runner := stfm.NewRunner(200_000, 1)
+
+	results, err := runner.Compare(stfm.Config{Workload: workload}, stfm.FRFCFS, stfm.STFM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sched := range []stfm.Scheduler{stfm.FRFCFS, stfm.STFM} {
+		res := results[sched]
+		fmt.Printf("%s:\n", sched)
+		for _, th := range res.Threads {
+			fmt.Printf("  %-12s slowdown %5.2fx  (IPC %.3f, row-buffer hits %4.1f%%)\n",
+				th.Benchmark, th.Slowdown, th.IPC, th.RowHitRate*100)
+		}
+		fmt.Printf("  unfairness %.2f, weighted speedup %.2f\n\n", res.Unfairness, res.WeightedSpeedup)
+	}
+}

@@ -1,0 +1,47 @@
+// Scheduler comparison: sweeps all five DRAM schedulers across 2-, 4-
+// and 8-core systems and prints the fairness / throughput frontier —
+// a compact version of the paper's scalability story (Sections
+// 7.1-7.3): unfairness grows with core count for every scheduler
+// except STFM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stfm"
+)
+
+func main() {
+	systems := []struct {
+		label    string
+		workload []string
+	}{
+		{"2-core", []string{"mcf", "dealII"}},
+		{"4-core", []string{"mcf", "libquantum", "GemsFDTD", "astar"}},
+		{"8-core", []string{"mcf", "libquantum", "leslie3d", "GemsFDTD", "astar", "omnetpp", "hmmer", "dealII"}},
+	}
+
+	// The paper's five schedulers plus the PAR-BS extension.
+	schedulers := append(stfm.Schedulers(), stfm.PARBS)
+
+	runner := stfm.NewRunner(150_000, 1)
+	fmt.Printf("%-8s", "")
+	for _, s := range schedulers {
+		fmt.Printf(" | %10s", s)
+	}
+	fmt.Println()
+
+	for _, sys := range systems {
+		fmt.Printf("%-8s", sys.label)
+		for _, sched := range schedulers {
+			res, err := runner.Run(stfm.Config{Scheduler: sched, Workload: sys.workload})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" | %4.2f %5.2f", res.Unfairness, res.WeightedSpeedup)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(cells: unfairness, weighted speedup)")
+}

@@ -1,0 +1,3 @@
+module stfm
+
+go 1.22

@@ -1,0 +1,182 @@
+// Package cache implements the private cache hierarchy of the paper's
+// Table 2: per-core 32 KB 4-way L1 and 512 KB 8-way L2 caches with
+// 64-byte lines, LRU replacement, MSHR-based miss handling with
+// same-line merging, and dirty writebacks to the DRAM controller.
+//
+// The paper's experiments interact with DRAM only through the L2 miss
+// stream, so the headline experiments drive the controller with
+// generated miss streams directly (package trace); this package is the
+// full substrate for address-trace workloads and is exercised by the
+// cache-mode simulation path, examples and tests.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	// Latency is the hit latency in CPU cycles.
+	Latency int64
+}
+
+// L1Config returns the paper's per-core L1 configuration (32 KB 4-way,
+// 2-cycle).
+func L1Config() Config { return Config{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, Latency: 2} }
+
+// L2Config returns the paper's per-core L2 configuration (512 KB 8-way,
+// 12-cycle).
+func L2Config() Config { return Config{SizeBytes: 512 << 10, Ways: 8, LineBytes: 64, Latency: 12} }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  int64 // LRU timestamp
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level
+// with LRU replacement, addressed by cache-line address.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	setBits uint
+	clock   int64
+
+	hits, misses int64
+}
+
+// New builds a cache. It returns an error if the geometry is invalid
+// (sizes not divisible into a power-of-two number of sets).
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry %+v", cfg)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", lines, cfg.Ways)
+	}
+	numSets := lines / cfg.Ways
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache: number of sets %d is not a power of two", numSets)
+	}
+	sets := make([][]line, numSets)
+	backing := make([]line, lines)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	bits := uint(0)
+	for v := numSets; v > 1; v >>= 1 {
+		bits++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1), setBits: bits}, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Hits returns the number of accesses that hit.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of accesses that missed.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}
+
+func (c *Cache) set(lineAddr uint64) []line { return c.sets[lineAddr&c.setMask] }
+
+func (c *Cache) tag(lineAddr uint64) uint64 { return lineAddr >> c.setBits }
+
+// Lookup probes the cache without modifying replacement or content
+// state.
+func (c *Cache) Lookup(lineAddr uint64) bool {
+	tag := c.tag(lineAddr)
+	for i := range c.set(lineAddr) {
+		l := &c.set(lineAddr)[i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a read or write access to lineAddr. On a hit it
+// updates LRU state (and the dirty bit for writes) and returns
+// hit=true. On a miss it returns hit=false without allocating; call
+// Fill when the line arrives from the next level.
+func (c *Cache) Access(lineAddr uint64, write bool) (hit bool) {
+	c.clock++
+	tag := c.tag(lineAddr)
+	set := c.set(lineAddr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			l.used = c.clock
+			if write {
+				l.dirty = true
+			}
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Fill allocates lineAddr (write-allocate for both loads and stores),
+// evicting the LRU way. It returns the evicted line's address and
+// whether that line was dirty (needs a writeback).
+func (c *Cache) Fill(lineAddr uint64, write bool) (victim uint64, dirty bool) {
+	c.clock++
+	tag := c.tag(lineAddr)
+	set := c.set(lineAddr)
+	lru := 0
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag { // already filled by a racing merge
+			l.used = c.clock
+			if write {
+				l.dirty = true
+			}
+			return 0, false
+		}
+		if !set[i].valid {
+			lru = i
+			break
+		}
+		if set[i].used < set[lru].used {
+			lru = i
+		}
+	}
+	l := &set[lru]
+	victimValid := l.valid
+	victimDirty := l.dirty
+	victimTag := l.tag
+	l.valid, l.tag, l.dirty, l.used = true, tag, write, c.clock
+	if victimValid && victimDirty {
+		return victimTag<<c.setBits | lineAddr&c.setMask, true
+	}
+	return 0, false
+}
+
+// Invalidate drops lineAddr if present, returning whether it was dirty.
+func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
+	tag := c.tag(lineAddr)
+	set := c.set(lineAddr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			l.valid = false
+			return true, l.dirty
+		}
+	}
+	return false, false
+}

@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{SizeBytes: 1024, Ways: 2, LineBytes: 64, Latency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c // 8 sets x 2 ways
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 2, LineBytes: 64},
+		{SizeBytes: 1024, Ways: 0, LineBytes: 64},
+		{SizeBytes: 1024, Ways: 3, LineBytes: 64}, // 16 lines not divisible by 3
+		{SizeBytes: 1024, Ways: 2, LineBytes: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+	if _, err := New(L1Config()); err != nil {
+		t.Errorf("L1 config invalid: %v", err)
+	}
+	if _, err := New(L2Config()); err != nil {
+		t.Errorf("L2 config invalid: %v", err)
+	}
+}
+
+func TestAccessMissThenFillHits(t *testing.T) {
+	c := small(t)
+	if c.Access(100, false) {
+		t.Fatal("cold cache must miss")
+	}
+	c.Fill(100, false)
+	if !c.Access(100, false) {
+		t.Fatal("filled line must hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", c.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small(t) // 2 ways per set
+	// Three lines in the same set (stride = number of sets = 8).
+	a, b, d := uint64(0), uint64(8), uint64(16)
+	c.Fill(a, false)
+	c.Fill(b, false)
+	c.Access(a, false) // touch a: b becomes LRU
+	c.Fill(d, false)   // evicts b
+	if !c.Lookup(a) || !c.Lookup(d) {
+		t.Error("a and d must remain resident")
+	}
+	if c.Lookup(b) {
+		t.Error("b (LRU) must be evicted")
+	}
+}
+
+func TestDirtyVictimAddress(t *testing.T) {
+	c := small(t)
+	a, b, d := uint64(3), uint64(11), uint64(19) // same set (3 mod 8)
+	c.Fill(a, true)                              // dirty
+	c.Fill(b, false)
+	victim, dirty := c.Fill(d, false) // evicts a
+	if !dirty {
+		t.Fatal("victim must be dirty")
+	}
+	if victim != a {
+		t.Errorf("victim = %d, want %d (address reconstruction)", victim, a)
+	}
+}
+
+func TestWriteSetsDirty(t *testing.T) {
+	c := small(t)
+	c.Fill(5, false)
+	c.Access(5, true) // dirty it
+	c.Fill(13, false)
+	victim, dirty := c.Fill(21, false)
+	if !dirty || victim != 5 {
+		t.Errorf("victim=%d dirty=%v, want 5/dirty", victim, dirty)
+	}
+}
+
+func TestFillIdempotentOnRace(t *testing.T) {
+	c := small(t)
+	c.Fill(7, false)
+	victim, dirty := c.Fill(7, true) // racing merge fill
+	if dirty || victim != 0 {
+		t.Error("refill of resident line must not evict")
+	}
+	// But the line should now be dirty.
+	c.Fill(15, false)
+	v, d := c.Fill(23, false)
+	if !d || v != 7 {
+		t.Errorf("line 7 should have been dirtied by merged fill (victim=%d dirty=%v)", v, d)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small(t)
+	c.Fill(9, true)
+	present, dirty := c.Invalidate(9)
+	if !present || !dirty {
+		t.Error("invalidate must report presence and dirtiness")
+	}
+	if c.Lookup(9) {
+		t.Error("line must be gone")
+	}
+	if p, _ := c.Invalidate(9); p {
+		t.Error("second invalidate must miss")
+	}
+}
+
+// TestVictimSameSetProperty: any dirty victim must map to the same set
+// as the line that displaced it.
+func TestVictimSameSetProperty(t *testing.T) {
+	c, err := New(Config{SizeBytes: 4096, Ways: 4, LineBytes: 64, Latency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numSets := uint64(4096 / 64 / 4)
+	f := func(addrs []uint64) bool {
+		for _, a := range addrs {
+			a %= 1 << 30
+			if !c.Access(a, true) {
+				victim, dirty := c.Fill(a, true)
+				if dirty && victim%numSets != a%numSets {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFillThenLookupProperty: after filling any address, Lookup finds
+// it.
+func TestFillThenLookupProperty(t *testing.T) {
+	c, err := New(Config{SizeBytes: 2048, Ways: 2, LineBytes: 64, Latency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a uint64) bool {
+		a %= 1 << 40
+		c.Fill(a, false)
+		return c.Lookup(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"fmt"
+
+	"stfm/internal/memctrl"
+)
+
+// Hierarchy is one core's private L1+L2 cache stack in front of the
+// shared DRAM controller, with MSHR-based non-blocking misses
+// (same-line merging) and dirty writebacks. It implements the cpu
+// package's Memory port.
+type Hierarchy struct {
+	thread int
+	l1     *Cache
+	l2     *Cache
+	ctrl   *memctrl.Controller
+	mshrs  int
+
+	outstanding map[uint64]*mshr
+	completions []completion
+	pendingWB   []uint64
+
+	dramLoads int64
+}
+
+type mshr struct {
+	waiters []func(now int64)
+	write   bool
+}
+
+type completion struct {
+	at   int64
+	done func(now int64)
+}
+
+// NewHierarchy builds a private L1/L2 pair for the given hardware
+// thread over the shared controller. mshrs bounds outstanding L2
+// misses (64 in the paper's Table 2).
+func NewHierarchy(thread int, l1cfg, l2cfg Config, mshrs int, ctrl *memctrl.Controller) (*Hierarchy, error) {
+	if mshrs <= 0 {
+		return nil, fmt.Errorf("cache: mshrs must be positive, got %d", mshrs)
+	}
+	l1, err := New(l1cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cache: L1: %w", err)
+	}
+	l2, err := New(l2cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cache: L2: %w", err)
+	}
+	return &Hierarchy{
+		thread:      thread,
+		l1:          l1,
+		l2:          l2,
+		ctrl:        ctrl,
+		mshrs:       mshrs,
+		outstanding: make(map[uint64]*mshr),
+	}, nil
+}
+
+// L1 exposes the L1 cache for statistics.
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 exposes the L2 cache for statistics.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// DRAMLoads returns the number of load requests sent to DRAM (L2
+// misses, after MSHR merging).
+func (h *Hierarchy) DRAMLoads() int64 { return h.dramLoads }
+
+// OutstandingMisses returns the number of in-flight L2 misses.
+func (h *Hierarchy) OutstandingMisses() int { return len(h.outstanding) }
+
+// Load issues a cache-line read. If accepted, done runs exactly once
+// when the data is available; l2Miss reports whether the access goes
+// to DRAM (the classification the core's stall accounting needs). A
+// false return means MSHRs or the DRAM request buffer are exhausted;
+// the caller should retry next cycle.
+func (h *Hierarchy) Load(now int64, lineAddr uint64, done func(now int64)) (accepted, l2Miss bool) {
+	if h.l1.Access(lineAddr, false) {
+		h.complete(now+h.l1.cfg.Latency, done)
+		return true, false
+	}
+	if h.l2.Access(lineAddr, false) {
+		h.fillL1(lineAddr, false)
+		h.complete(now+h.l2.cfg.Latency, done)
+		return true, false
+	}
+	return h.miss(now, lineAddr, false, done), true
+}
+
+// Store issues a cache-line write (write-allocate, write-back). Store
+// misses fetch the line from DRAM but never block commit, so no
+// completion callback is taken. A false return means resources are
+// exhausted and the access must be retried.
+func (h *Hierarchy) Store(now int64, lineAddr uint64) (accepted bool) {
+	if h.l1.Access(lineAddr, true) {
+		return true
+	}
+	if h.l2.Access(lineAddr, true) {
+		h.fillL1(lineAddr, true)
+		return true
+	}
+	return h.miss(now, lineAddr, true, nil)
+}
+
+func (h *Hierarchy) miss(now int64, lineAddr uint64, write bool, done func(now int64)) bool {
+	if m, ok := h.outstanding[lineAddr]; ok {
+		// MSHR merge: piggyback on the in-flight fill.
+		if done != nil {
+			m.waiters = append(m.waiters, done)
+		}
+		m.write = m.write || write
+		return true
+	}
+	if len(h.outstanding) >= h.mshrs {
+		return false
+	}
+	m := &mshr{write: write}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	ok := h.ctrl.EnqueueRead(now, h.thread, lineAddr, func(at int64) { h.fill(at, lineAddr) })
+	if !ok {
+		return false
+	}
+	h.outstanding[lineAddr] = m
+	h.dramLoads++
+	return true
+}
+
+// fill handles a DRAM fill arriving for lineAddr.
+func (h *Hierarchy) fill(now int64, lineAddr uint64) {
+	m := h.outstanding[lineAddr]
+	delete(h.outstanding, lineAddr)
+	if victim, dirty := h.l2.Fill(lineAddr, m.write); dirty {
+		h.writeback(now, victim)
+	}
+	h.fillL1(lineAddr, m.write)
+	for _, w := range m.waiters {
+		w(now)
+	}
+}
+
+// fillL1 installs a line into L1, spilling dirty victims into L2.
+func (h *Hierarchy) fillL1(lineAddr uint64, write bool) {
+	victim, dirty := h.l1.Fill(lineAddr, write)
+	if !dirty {
+		return
+	}
+	if h.l2.Access(victim, true) {
+		return
+	}
+	// The victim is no longer in L2 (non-inclusive corner); reinstall
+	// it dirty, spilling L2's own victim to DRAM if needed.
+	if v2, d2 := h.l2.Fill(victim, true); d2 {
+		h.writeback(0, v2)
+	}
+}
+
+func (h *Hierarchy) writeback(now int64, lineAddr uint64) {
+	if !h.ctrl.EnqueueWrite(now, h.thread, lineAddr) {
+		h.pendingWB = append(h.pendingWB, lineAddr)
+	}
+}
+
+func (h *Hierarchy) complete(at int64, done func(now int64)) {
+	if done == nil {
+		return
+	}
+	h.completions = append(h.completions, completion{at: at, done: done})
+}
+
+// Tick delivers due cache-hit completions and retries writebacks that
+// found the DRAM write buffer full.
+func (h *Hierarchy) Tick(now int64) {
+	for i := 0; i < len(h.completions); {
+		c := h.completions[i]
+		if c.at > now {
+			i++
+			continue
+		}
+		h.completions[i] = h.completions[len(h.completions)-1]
+		h.completions = h.completions[:len(h.completions)-1]
+		c.done(now)
+	}
+	for len(h.pendingWB) > 0 {
+		if !h.ctrl.EnqueueWrite(now, h.thread, h.pendingWB[0]) {
+			break
+		}
+		h.pendingWB = h.pendingWB[1:]
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "stfm/internal/dram"
+
+// HardwareCost reports the storage the STFM logic adds to a baseline
+// FR-FCFS controller, reproducing the accounting of the paper's
+// Table 1 / Section 5.1. All quantities are in bits.
+type HardwareCost struct {
+	// Per-thread registers.
+	TsharedBits                int // log2(IntervalLength) per thread
+	TinterferenceBits          int // log2(IntervalLength) per thread
+	SlowdownBits               int // 8-bit fixed point per thread
+	BankWaitingParallelismBits int // log2(NumBanks) per thread
+	BankAccessParallelismBits  int // log2(NumBanks) per thread
+	// Per-thread per-bank registers.
+	LastRowAddressBits int // log2(RowsPerBank) per thread per bank
+	// Per-request registers.
+	ThreadIDBits int // log2(NumThreads) per request-buffer entry
+	// Individual registers.
+	IntervalCounterBits int
+	AlphaBits           int
+
+	// Total is the sum over all instances.
+	Total int
+}
+
+// ComputeHardwareCost evaluates the Table 1 budget for a system with
+// the given thread count, DRAM geometry, interval length and request
+// buffer capacity. With the paper's parameters — 8 threads, interval
+// 2^24, 8 banks, 2^14 rows, 128 request-buffer entries — the total is
+// the paper's 1808 bits.
+func ComputeHardwareCost(threads int, geom dram.Geometry, intervalLength int64, requestBufferEntries int) HardwareCost {
+	banks := geom.BanksPerChannel * geom.Channels
+	c := HardwareCost{
+		TsharedBits:                log2int(intervalLength),
+		TinterferenceBits:          log2int(intervalLength),
+		SlowdownBits:               8,
+		BankWaitingParallelismBits: log2int(int64(banks)),
+		BankAccessParallelismBits:  log2int(int64(banks)),
+		LastRowAddressBits:         log2int(int64(geom.RowsPerBank)),
+		ThreadIDBits:               log2int(int64(threads)),
+		IntervalCounterBits:        log2int(intervalLength),
+		AlphaBits:                  8,
+	}
+	perThread := c.TsharedBits + c.TinterferenceBits + c.SlowdownBits +
+		c.BankWaitingParallelismBits + c.BankAccessParallelismBits
+	perThreadPerBank := c.LastRowAddressBits
+	c.Total = threads*perThread +
+		threads*banks*perThreadPerBank +
+		requestBufferEntries*c.ThreadIDBits +
+		c.IntervalCounterBits + c.AlphaBits
+	return c
+}
+
+// log2int returns ceil(log2(v)) for v >= 1: the register width needed
+// to hold values in [0, v).
+func log2int(v int64) int {
+	bits := 0
+	for p := int64(1); p < v; p <<= 1 {
+		bits++
+	}
+	return bits
+}

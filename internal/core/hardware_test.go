@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"stfm/internal/dram"
+)
+
+// TestHardwareCostMatchesPaper checks the Table 1 accounting: "With 8
+// threads, an IntervalLength value of 2^24, 8 DRAM banks, 2^14 rows
+// per bank, and a 128-entry memory request buffer, the additional
+// state required by STFM is 1808 bits."
+func TestHardwareCostMatchesPaper(t *testing.T) {
+	geom := dram.DefaultGeometry(1) // 8 banks, 2^14 rows
+	c := ComputeHardwareCost(8, geom, 1<<24, 128)
+
+	if c.TsharedBits != 24 || c.TinterferenceBits != 24 {
+		t.Errorf("Tshared/Tinterference bits = %d/%d, want 24/24", c.TsharedBits, c.TinterferenceBits)
+	}
+	if c.SlowdownBits != 8 {
+		t.Errorf("Slowdown bits = %d, want 8", c.SlowdownBits)
+	}
+	if c.BankWaitingParallelismBits != 3 || c.BankAccessParallelismBits != 3 {
+		t.Errorf("parallelism bits = %d/%d, want 3/3", c.BankWaitingParallelismBits, c.BankAccessParallelismBits)
+	}
+	if c.LastRowAddressBits != 14 {
+		t.Errorf("LastRowAddress bits = %d, want 14", c.LastRowAddressBits)
+	}
+	if c.ThreadIDBits != 3 {
+		t.Errorf("ThreadID bits = %d, want 3", c.ThreadIDBits)
+	}
+	if c.IntervalCounterBits != 24 || c.AlphaBits != 8 {
+		t.Errorf("interval/alpha bits = %d/%d, want 24/8", c.IntervalCounterBits, c.AlphaBits)
+	}
+	if c.Total != 1808 {
+		t.Errorf("Total = %d bits, want the paper's 1808", c.Total)
+	}
+}
+
+func TestHardwareCostScales(t *testing.T) {
+	geom := dram.DefaultGeometry(1)
+	small := ComputeHardwareCost(2, geom, 1<<24, 128)
+	large := ComputeHardwareCost(16, geom, 1<<24, 128)
+	if large.Total <= small.Total {
+		t.Error("cost must grow with thread count")
+	}
+	geom16 := geom
+	geom16.BanksPerChannel = 16
+	moreBanks := ComputeHardwareCost(8, geom16, 1<<24, 128)
+	base := ComputeHardwareCost(8, geom, 1<<24, 128)
+	if moreBanks.Total <= base.Total {
+		t.Error("cost must grow with bank count")
+	}
+}
+
+func TestLog2Int(t *testing.T) {
+	cases := map[int64]int{1: 0, 2: 1, 3: 2, 8: 3, 9: 4, 1 << 24: 24, 16384: 14, 128: 7}
+	for v, want := range cases {
+		if got := log2int(v); got != want {
+			t.Errorf("log2int(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

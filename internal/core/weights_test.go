@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"stfm/internal/dram"
+	"stfm/internal/memctrl"
+)
+
+// TestTmaxSelectionUsesWeightedSlowdowns: the fairness rule must pick
+// Tmax from the weighted slowdowns, so a high-weight thread with a
+// modest raw slowdown outranks a low-weight thread with a larger one
+// (the paper's worked example: weight 10 turns a measured 1.1 into an
+// interpreted 2).
+func TestTmaxSelectionUsesWeightedSlowdowns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Weights = []float64{1, 10}
+	f := newFixture(t, 2, cfg)
+	f.view.queued[0], f.view.queued[1] = true, true
+	f.tshared[0], f.tshared[1] = 1000, 1000
+	f.stfm.tinterf[0] = 500 // raw S0 = 2.0 -> weighted 2.0
+	f.stfm.tinterf[1] = 91  // raw S1 ~ 1.1 -> weighted ~2.0... make it decisive
+	f.stfm.tinterf[1] = 150 // raw S1 ~ 1.18 -> weighted ~2.8
+	f.stfm.BeginCycle(0)
+	if !f.stfm.fairnessMode {
+		t.Fatalf("expected fairness mode at unfairness %.2f", f.stfm.Unfairness())
+	}
+	if f.stfm.tmax != 1 {
+		t.Errorf("tmax = %d, want the weighted thread 1 (S'=%.2f vs %.2f)",
+			f.stfm.tmax, f.stfm.Slowdown(1), f.stfm.Slowdown(0))
+	}
+}
+
+// TestUnfairnessUsesWeightedRatio: equal raw slowdowns with unequal
+// weights must read as unfair (and conversely the weighted values are
+// what Smax/Smin compares).
+func TestUnfairnessUsesWeightedRatio(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Weights = []float64{1, 4}
+	f := newFixture(t, 2, cfg)
+	f.view.queued[0], f.view.queued[1] = true, true
+	f.tshared[0], f.tshared[1] = 1000, 1000
+	f.stfm.tinterf[0] = 333 // S ~ 1.5 for both threads
+	f.stfm.tinterf[1] = 333
+	f.stfm.BeginCycle(0)
+	// Weighted: thread 0 reads 1.5, thread 1 reads 3.0.
+	if got := f.stfm.Unfairness(); got < 1.9 {
+		t.Errorf("weighted unfairness = %.2f, want ~2.0", got)
+	}
+}
+
+// TestLastBankUserTracksAcrossChannels: the alone-counterfactual
+// eligibility must key bank state by (channel, bank), not bank alone.
+func TestLastBankUserTracksAcrossChannels(t *testing.T) {
+	view := newFakeView(2)
+	geom := dram.DefaultGeometry(2)
+	f := &fixture{view: view, tshared: make([]int64, 2)}
+	s, err := NewSTFM(DefaultConfig(), view, geom, dram.DefaultTiming(), func(i int) int64 { return f.tshared[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.stfm = s
+
+	// Thread 1 uses bank 3 on channel 0.
+	warm := candAt(1, dram.CmdRead, 3, 0)
+	s.OnSchedule(0, &warm, nil)
+	// A non-ready victim of thread 1 on channel 1 bank 3 must still be
+	// charged: its self-use was on a different channel.
+	chosen := candAt(0, dram.CmdActivate, 3, 5)
+	chosen.Channel = 1
+	victim := candAt(1, dram.CmdPrecharge, 3, 5)
+	victim.Channel = 1
+	victim.Ready = false
+	view.banks[1] = 1
+	s.OnSchedule(10, &chosen, []memctrl.Candidate{chosen, victim})
+	if s.Interference(1) <= 0 {
+		t.Error("victim blocked on another channel's bank must be charged")
+	}
+}

@@ -1,0 +1,327 @@
+// Package cpu models the processor cores of the paper's Table 2: a
+// 4 GHz core with a 128-entry instruction window, 3-wide fetch and
+// commit (at most one memory operation per fetch group), non-blocking
+// memory accesses bounded by MSHRs, and — crucially for STFM — the
+// memory stall-time accounting that produces Tshared: the core counts
+// a stall cycle whenever it cannot commit any instruction because the
+// oldest instruction is an incomplete L2 miss (Section 3.2.1).
+//
+// The model is trace-driven: it consumes a trace.Stream of compute
+// gaps and memory accesses. Memory instructions issue their accesses
+// as soon as they enter the window, which yields realistic
+// memory-level parallelism (multiple outstanding DRAM requests from
+// one thread, hence bank-level parallelism).
+package cpu
+
+import "stfm/internal/trace"
+
+// Memory is the port a core uses to access its memory hierarchy. It is
+// implemented by cache.Hierarchy (cache mode) and by the simulation
+// engine's direct DRAM port (miss-stream mode).
+type Memory interface {
+	// Load issues a cache-line read. If accepted, done runs exactly
+	// once when the data is available; l2Miss reports whether the
+	// access goes to DRAM (the stall-accounting classification). A
+	// false accepted means resources are exhausted; retry next cycle.
+	Load(now int64, lineAddr uint64, done func(now int64)) (accepted, l2Miss bool)
+	// Store submits non-blocking write traffic. A false return means
+	// the write path is backed up; retry next cycle.
+	Store(now int64, lineAddr uint64) bool
+}
+
+// Config sizes a core.
+type Config struct {
+	// Width is the fetch/commit width in instructions per cycle (3).
+	Width int
+	// WindowSize is the instruction window capacity (128).
+	WindowSize int
+}
+
+// DefaultConfig returns the paper's core parameters.
+func DefaultConfig() Config { return Config{Width: 3, WindowSize: 128} }
+
+// winEntry is a group of instructions in the window: some compute
+// instructions optionally terminated by one memory instruction.
+type winEntry struct {
+	compute int64 // compute instructions not yet committed
+	hasMem  bool
+	memDone bool
+	l2Miss  bool
+
+	// Deferred-issue state for dependent loads.
+	issued bool
+	addr   uint64
+	chain  int
+	dep    bool
+}
+
+// Core is one trace-driven processor core.
+type Core struct {
+	id     int
+	cfg    Config
+	mem    Memory
+	stream trace.Stream
+
+	window    []*winEntry
+	occupancy int // instructions currently in the window
+
+	// Fetch state: the access being brought into the window.
+	fetching  bool
+	curAccess trace.Access
+	gapLeft   int64     // compute instructions of curAccess still to fetch
+	tail      *winEntry // open entry accumulating compute instructions
+
+	streamDone bool
+
+	// unissued holds window entries whose loads are waiting on a
+	// dependence-chain predecessor or on memory-port resources.
+	unissued []*winEntry
+	// chainBusy counts outstanding loads per dependence chain; a
+	// dependent load issues only when its chain drains to zero.
+	chainBusy []int
+
+	// Architected counters.
+	committed  int64 // total committed instructions
+	memStall   int64 // Tshared: cycles with zero commits, head blocked on L2 miss
+	stallAny   int64 // cycles with zero commits, any reason
+	cycles     int64
+	dramLoads  int64
+	l2MissHead bool
+}
+
+// New builds a core with the given id over a memory port and an
+// instruction trace.
+func New(id int, cfg Config, mem Memory, stream trace.Stream) *Core {
+	if cfg.Width <= 0 || cfg.WindowSize <= 0 {
+		panic("cpu: Width and WindowSize must be positive")
+	}
+	return &Core{id: id, cfg: cfg, mem: mem, stream: stream}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Committed returns the number of committed instructions.
+func (c *Core) Committed() int64 { return c.committed }
+
+// MemStallCycles returns the Tshared counter: cycles in which the core
+// could not commit because the oldest instruction was an incomplete L2
+// miss.
+func (c *Core) MemStallCycles() int64 { return c.memStall }
+
+// StallCycles returns the cycles with zero commits for any reason.
+func (c *Core) StallCycles() int64 { return c.stallAny }
+
+// Cycles returns the number of cycles the core has run.
+func (c *Core) Cycles() int64 { return c.cycles }
+
+// DRAMLoads returns the demand loads that were classified as L2 misses.
+func (c *Core) DRAMLoads() int64 { return c.dramLoads }
+
+// Done reports whether the core has drained a finite trace completely.
+func (c *Core) Done() bool { return c.streamDone && len(c.window) == 0 && !c.fetching }
+
+// IPC returns committed instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.committed) / float64(c.cycles)
+}
+
+// MCPI returns memory stall cycles per instruction so far (the paper's
+// MCPI metric, the basis of the slowdown definition).
+func (c *Core) MCPI() float64 {
+	if c.committed == 0 {
+		return 0
+	}
+	return float64(c.memStall) / float64(c.committed)
+}
+
+// Tick advances the core by one CPU cycle: commit first (so completed
+// loads retire with their completion-cycle timing), then issue loads
+// whose dependences have resolved, then fetch.
+func (c *Core) Tick(now int64) {
+	c.cycles++
+	committed := c.commit()
+	c.issueLoads(now)
+	c.fetch(now)
+	if committed == 0 {
+		hasWork := len(c.window) > 0 || c.fetching || !c.streamDone
+		if !hasWork {
+			return
+		}
+		c.stallAny++
+		if len(c.window) > 0 {
+			head := c.window[0]
+			if head.compute == 0 && head.hasMem && !head.memDone && head.l2Miss {
+				// The oldest instruction is an L2 miss that has not
+				// returned: a Tshared stall cycle.
+				c.memStall++
+			}
+		}
+	}
+}
+
+// commit retires up to Width instructions in order and returns how
+// many were retired this cycle.
+func (c *Core) commit() int {
+	budget := c.cfg.Width
+	done := 0
+	for budget > 0 && len(c.window) > 0 {
+		head := c.window[0]
+		if head.compute > 0 {
+			n := int64(budget)
+			if head.compute < n {
+				n = head.compute
+			}
+			head.compute -= n
+			budget -= int(n)
+			done += int(n)
+			c.committed += n
+			c.occupancy -= int(n)
+			continue
+		}
+		if head.hasMem {
+			if !head.memDone {
+				break
+			}
+			budget--
+			done++
+			c.committed++
+			c.occupancy--
+		}
+		c.popHead()
+	}
+	return done
+}
+
+func (c *Core) popHead() {
+	head := c.window[0]
+	if head == c.tail {
+		c.tail = nil
+	}
+	copy(c.window, c.window[1:])
+	c.window = c.window[:len(c.window)-1]
+}
+
+// fetch brings up to Width instructions into the window, issuing
+// memory accesses as their instructions enter.
+func (c *Core) fetch(now int64) {
+	budget := c.cfg.Width
+	for budget > 0 {
+		if !c.fetching {
+			acc, ok := c.stream.Next()
+			if !ok {
+				c.streamDone = true
+				return
+			}
+			c.fetching = true
+			c.curAccess = acc
+			c.gapLeft = acc.Gap
+		}
+		// Writebacks are not instructions: submit and move on.
+		if c.curAccess.Kind == trace.Write && c.gapLeft == 0 {
+			if !c.mem.Store(now, c.curAccess.LineAddr) {
+				return // write path backed up; retry next cycle
+			}
+			c.fetching = false
+			continue
+		}
+		free := c.cfg.WindowSize - c.occupancy
+		if free == 0 {
+			return
+		}
+		if c.gapLeft > 0 {
+			n := int64(budget)
+			if c.gapLeft < n {
+				n = c.gapLeft
+			}
+			if int64(free) < n {
+				n = int64(free)
+			}
+			c.appendCompute(n)
+			c.gapLeft -= n
+			budget -= int(n)
+			continue
+		}
+		// Fetch the memory instruction itself (costs one slot and one
+		// fetch unit; at most one memory op per fetch group). The
+		// access issues later, once its dependence chain is clear and
+		// memory-port resources are available.
+		entry := c.closeEntryWithMem()
+		entry.addr = c.curAccess.LineAddr
+		entry.chain = c.curAccess.Chain
+		entry.dep = c.curAccess.Dep
+		c.unissued = append(c.unissued, entry)
+		c.occupancy++
+		budget = 0 // one memory op ends the fetch group
+		c.fetching = false
+	}
+}
+
+// issueLoads sends window loads to the memory port in program order,
+// holding back dependent loads whose chain predecessor is still
+// outstanding.
+func (c *Core) issueLoads(now int64) {
+	kept := c.unissued[:0]
+	for _, e := range c.unissued {
+		if e.dep && c.chainOutstanding(e.chain) > 0 {
+			kept = append(kept, e)
+			continue
+		}
+		e := e
+		accepted, l2Miss := c.mem.Load(now, e.addr, func(int64) {
+			e.memDone = true
+			c.chainBusy[e.chain]--
+		})
+		if !accepted {
+			kept = append(kept, e) // resources exhausted; retry next cycle
+			continue
+		}
+		e.issued = true
+		e.l2Miss = l2Miss
+		if l2Miss {
+			c.dramLoads++
+		}
+		c.growChain(e.chain)
+		c.chainBusy[e.chain]++
+	}
+	c.unissued = kept
+}
+
+func (c *Core) chainOutstanding(chain int) int {
+	if chain >= len(c.chainBusy) {
+		return 0
+	}
+	return c.chainBusy[chain]
+}
+
+func (c *Core) growChain(chain int) {
+	for chain >= len(c.chainBusy) {
+		c.chainBusy = append(c.chainBusy, 0)
+	}
+}
+
+// appendCompute adds n compute instructions to the open tail entry.
+func (c *Core) appendCompute(n int64) {
+	if c.tail == nil {
+		c.tail = &winEntry{}
+		c.window = append(c.window, c.tail)
+	}
+	c.tail.compute += n
+	c.occupancy += int(n)
+}
+
+// closeEntryWithMem turns the open tail entry into one terminated by a
+// memory instruction and returns it.
+func (c *Core) closeEntryWithMem() *winEntry {
+	if c.tail == nil {
+		c.tail = &winEntry{}
+		c.window = append(c.window, c.tail)
+	}
+	e := c.tail
+	e.hasMem = true
+	c.tail = nil
+	return e
+}

@@ -1,0 +1,130 @@
+package dram
+
+// BankState is the coarse state of a bank's row buffer.
+type BankState uint8
+
+const (
+	// BankClosed means no row is open (the bank is precharged or
+	// precharging; readiness is tracked by timestamps).
+	BankClosed BankState = iota
+	// BankOpen means a row is in the row buffer (or being activated
+	// into it; column accesses become legal at colReadyAt).
+	BankOpen
+)
+
+// RowBufferOutcome classifies a request against the current row-buffer
+// state, matching Section 2.1 of the paper.
+type RowBufferOutcome uint8
+
+const (
+	// RowHit: the request's row is the open row; only a column access
+	// is needed (latency tCL).
+	RowHit RowBufferOutcome = iota
+	// RowClosed: no open row; activate + column access (tRCD + tCL).
+	RowClosed
+	// RowConflict: a different row is open; precharge + activate +
+	// column access (tRP + tRCD + tCL).
+	RowConflict
+)
+
+// String names the outcome.
+func (o RowBufferOutcome) String() string {
+	switch o {
+	case RowHit:
+		return "hit"
+	case RowClosed:
+		return "closed"
+	case RowConflict:
+		return "conflict"
+	}
+	return "unknown"
+}
+
+// Bank models one DRAM bank's row buffer and timing state. All
+// timestamps are absolute CPU-cycle times.
+type Bank struct {
+	state   BankState
+	openRow int
+
+	// actReadyAt: earliest cycle an activate may issue (tRP after the
+	// last precharge).
+	actReadyAt int64
+	// colReadyAt: earliest cycle a column access may issue to the open
+	// row (tRCD after activate).
+	colReadyAt int64
+	// preReadyAt: earliest cycle a precharge may issue (tRAS after
+	// activate, and write recovery / read completion of the last
+	// column access).
+	preReadyAt int64
+}
+
+// State returns the bank's coarse state.
+func (b *Bank) State() BankState { return b.state }
+
+// OpenRow returns the open row index; it is meaningful only when
+// State() == BankOpen.
+func (b *Bank) OpenRow() int { return b.openRow }
+
+// Outcome classifies an access to row against the current row-buffer
+// state.
+func (b *Bank) Outcome(row int) RowBufferOutcome {
+	switch {
+	case b.state == BankClosed:
+		return RowClosed
+	case b.openRow == row:
+		return RowHit
+	default:
+		return RowConflict
+	}
+}
+
+// CanActivate reports whether an activate command may issue at cycle
+// now.
+func (b *Bank) CanActivate(now int64) bool {
+	return b.state == BankClosed && now >= b.actReadyAt
+}
+
+// CanColumn reports whether a column access to row may issue at cycle
+// now (the row must be open and tRCD satisfied). Data-bus availability
+// is the channel's concern, not the bank's.
+func (b *Bank) CanColumn(now int64, row int) bool {
+	return b.state == BankOpen && b.openRow == row && now >= b.colReadyAt
+}
+
+// CanPrecharge reports whether a precharge may issue at cycle now.
+func (b *Bank) CanPrecharge(now int64) bool {
+	return b.state == BankOpen && now >= b.preReadyAt
+}
+
+// Activate issues an activate command for row at cycle now. The caller
+// must have checked CanActivate.
+func (b *Bank) Activate(now int64, row int, t Timing) {
+	b.state = BankOpen
+	b.openRow = row
+	b.colReadyAt = now + t.RCD
+	b.preReadyAt = now + t.RAS
+}
+
+// Column issues a read or write at cycle now and returns the cycle at
+// which the data burst completes on the data bus. The caller must have
+// checked CanColumn and data-bus availability.
+func (b *Bank) Column(now int64, write bool, t Timing) (burstDone int64) {
+	burstDone = now + t.CL + t.BurstCycles
+	// Reads allow an early precharge tRTP after the command; writes
+	// must wait for write recovery after the burst.
+	ready := now + t.RTP
+	if write {
+		ready = burstDone + t.WR
+	}
+	if ready > b.preReadyAt {
+		b.preReadyAt = ready
+	}
+	return burstDone
+}
+
+// Precharge issues a precharge at cycle now. The caller must have
+// checked CanPrecharge.
+func (b *Bank) Precharge(now int64, t Timing) {
+	b.state = BankClosed
+	b.actReadyAt = now + t.RP
+}

@@ -1,0 +1,119 @@
+package dram
+
+import "testing"
+
+func TestBankInitialState(t *testing.T) {
+	var b Bank
+	if b.State() != BankClosed {
+		t.Fatal("new bank should be closed")
+	}
+	if b.Outcome(5) != RowClosed {
+		t.Fatal("access to closed bank should classify RowClosed")
+	}
+	if !b.CanActivate(0) {
+		t.Fatal("closed idle bank should accept activate at cycle 0")
+	}
+	if b.CanPrecharge(0) || b.CanColumn(0, 5) {
+		t.Fatal("closed bank must reject precharge and column access")
+	}
+}
+
+func TestBankActivateColumnPrechargeCycle(t *testing.T) {
+	tm := DefaultTiming()
+	var b Bank
+
+	b.Activate(0, 7, tm)
+	if b.State() != BankOpen || b.OpenRow() != 7 {
+		t.Fatalf("bank should be open at row 7, got state=%v row=%d", b.State(), b.OpenRow())
+	}
+	if b.Outcome(7) != RowHit {
+		t.Error("open row access should be RowHit")
+	}
+	if b.Outcome(8) != RowConflict {
+		t.Error("other-row access should be RowConflict")
+	}
+
+	// Column access must wait tRCD.
+	if b.CanColumn(tm.RCD-1, 7) {
+		t.Error("column access allowed before tRCD")
+	}
+	if !b.CanColumn(tm.RCD, 7) {
+		t.Error("column access refused at tRCD")
+	}
+	if b.CanColumn(tm.RCD, 8) {
+		t.Error("column access to wrong row allowed")
+	}
+
+	// Precharge must wait tRAS.
+	if b.CanPrecharge(tm.RAS - 1) {
+		t.Error("precharge allowed before tRAS")
+	}
+	if !b.CanPrecharge(tm.RAS) {
+		t.Error("precharge refused at tRAS")
+	}
+
+	b.Precharge(tm.RAS, tm)
+	if b.State() != BankClosed {
+		t.Fatal("bank should close after precharge")
+	}
+	// Activate must wait tRP after precharge.
+	if b.CanActivate(tm.RAS + tm.RP - 1) {
+		t.Error("activate allowed before tRP elapsed")
+	}
+	if !b.CanActivate(tm.RAS + tm.RP) {
+		t.Error("activate refused after tRP")
+	}
+}
+
+func TestBankReadAllowsEarlyPrecharge(t *testing.T) {
+	tm := DefaultTiming()
+	var b Bank
+	b.Activate(0, 1, tm)
+	done := b.Column(tm.RCD, false, tm)
+	if want := tm.RCD + tm.CL + tm.BurstCycles; done != want {
+		t.Fatalf("burst done at %d, want %d", done, want)
+	}
+	// A read permits precharge tRTP after the command (but never
+	// before tRAS from the activate).
+	if b.CanPrecharge(tm.RAS - 1) {
+		t.Error("precharge allowed before tRAS")
+	}
+	if !b.CanPrecharge(tm.RAS) {
+		t.Error("precharge after read should be legal once tRAS passes")
+	}
+}
+
+func TestBankWriteRecoveryBlocksPrecharge(t *testing.T) {
+	tm := DefaultTiming()
+	var b Bank
+	b.Activate(0, 1, tm)
+	// Write late enough that write recovery, not tRAS, is binding.
+	wrAt := tm.RAS
+	done := b.Column(wrAt, true, tm)
+	ready := done + tm.WR
+	if b.CanPrecharge(ready - 1) {
+		t.Error("precharge allowed during write recovery")
+	}
+	if !b.CanPrecharge(ready) {
+		t.Error("precharge refused after write recovery")
+	}
+}
+
+func TestBankColumnExtendsPrechargePoint(t *testing.T) {
+	tm := DefaultTiming()
+	var b Bank
+	b.Activate(0, 1, tm)
+	// A long row hit streak: each read moves the precharge point to
+	// at least read+tRTP.
+	last := int64(0)
+	for i := int64(0); i < 5; i++ {
+		at := tm.RCD + i*tm.BurstCycles
+		b.Column(at, false, tm)
+		last = at
+	}
+	if b.CanPrecharge(last + tm.RTP - 1) {
+		if last+tm.RTP-1 >= tm.RAS { // only meaningful after tRAS
+			t.Error("precharge allowed before tRTP of the last read")
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package dram
+
+import "fmt"
+
+// Stats accumulates per-channel event counts for reporting and tests.
+type Stats struct {
+	Activates   int64
+	Precharges  int64
+	Reads       int64
+	Writes      int64
+	RowHits     int64 // column accesses that were row-buffer hits
+	RowClosed   int64 // accesses that found the bank closed
+	RowConflict int64 // accesses that hit a conflicting open row
+	BusyCycles  int64 // data-bus busy CPU cycles
+	Refreshes   int64 // all-bank auto-refresh operations
+}
+
+// RowHitRate returns the fraction of serviced column accesses whose
+// request found its row already open.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowClosed + s.RowConflict
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// Channel models one independent DRAM channel: a set of banks sharing
+// an address/command bus (one command per DRAM cycle, enforced by the
+// controller's decision loop) and a data bus (one burst at a time).
+type Channel struct {
+	timing Timing
+	banks  []Bank
+
+	// dataBusFreeAt is the cycle at which the data bus becomes free.
+	// A column access may issue at cycle c only if its burst window
+	// [c+CL, c+CL+BL) starts at or after dataBusFreeAt.
+	dataBusFreeAt int64
+
+	// nextRefreshAt is the next all-bank refresh edge (only meaningful
+	// with timing.REFI > 0).
+	nextRefreshAt int64
+
+	// Rank-level inter-command constraints: the last four activate
+	// times (for tRRD and the rolling tFAW window) and the completion
+	// times of the last read and write bursts (for bus turnaround).
+	actTimes     [4]int64
+	actNext      int
+	readBurstEnd int64
+	// writeRecoveryEnd is the last write burst's end plus tWTR.
+	writeRecoveryEnd int64
+
+	stats Stats
+}
+
+// NewChannel creates a channel with the given number of banks.
+func NewChannel(banks int, t Timing) *Channel {
+	c := &Channel{timing: t, banks: make([]Bank, banks), nextRefreshAt: t.REFI}
+	for i := range c.actTimes {
+		c.actTimes[i] = -1 << 62
+	}
+	c.readBurstEnd = -1 << 62
+	c.writeRecoveryEnd = -1 << 62
+	return c
+}
+
+// MaybeRefresh performs an all-bank auto-refresh when the refresh
+// interval has elapsed: all banks are precharged and blocked for RFC
+// cycles. It is a no-op when refresh is disabled. The controller
+// calls it once per DRAM cycle, before scheduling.
+func (c *Channel) MaybeRefresh(now int64) {
+	if c.timing.REFI <= 0 || now < c.nextRefreshAt {
+		return
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		// Auto-refresh implies precharge-all; open rows are lost and
+		// every bank blocks until the refresh cycle completes.
+		b.state = BankClosed
+		if at := now + c.timing.RFC; at > b.actReadyAt {
+			b.actReadyAt = at
+		}
+	}
+	c.stats.Refreshes++
+	for c.nextRefreshAt <= now {
+		c.nextRefreshAt += c.timing.REFI
+	}
+}
+
+// Timing returns the channel's timing parameters.
+func (c *Channel) Timing() Timing { return c.timing }
+
+// NumBanks returns the number of banks on the channel.
+func (c *Channel) NumBanks() int { return len(c.banks) }
+
+// Bank returns the bank with the given index.
+func (c *Channel) Bank(i int) *Bank { return &c.banks[i] }
+
+// Stats returns a copy of the channel's counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// DataBusFreeAt returns the cycle the data bus becomes free.
+func (c *Channel) DataBusFreeAt() int64 { return c.dataBusFreeAt }
+
+// Outcome classifies an access to (bank, row) against the current
+// row-buffer state of that bank.
+func (c *Channel) Outcome(bank, row int) RowBufferOutcome {
+	return c.banks[bank].Outcome(row)
+}
+
+// NextCommand returns the next DRAM command required to service a
+// column access to (bank, row): a precharge if a conflicting row is
+// open, an activate if the bank is closed, otherwise the column access
+// itself.
+func (c *Channel) NextCommand(bank, row int, write bool) Command {
+	b := &c.banks[bank]
+	switch b.Outcome(row) {
+	case RowConflict:
+		return Command{Kind: CmdPrecharge, Bank: bank, Row: row}
+	case RowClosed:
+		return Command{Kind: CmdActivate, Bank: bank, Row: row}
+	default:
+		kind := CmdRead
+		if write {
+			kind = CmdWrite
+		}
+		return Command{Kind: kind, Bank: bank, Row: row}
+	}
+}
+
+// CanIssue reports whether cmd respects all bank and data-bus timing
+// constraints at cycle now — the paper's definition of a "ready" DRAM
+// command (footnote 4).
+func (c *Channel) CanIssue(cmd Command, now int64) bool {
+	b := &c.banks[cmd.Bank]
+	switch cmd.Kind {
+	case CmdActivate:
+		if !b.CanActivate(now) {
+			return false
+		}
+		// tRRD against the most recent activate on the rank.
+		last := c.actTimes[(c.actNext+3)%4]
+		if now-last < c.timing.RRD {
+			return false
+		}
+		// tFAW: the fourth-last activate must be at least FAW ago.
+		return now-c.actTimes[c.actNext] >= c.timing.FAW
+	case CmdPrecharge:
+		return b.CanPrecharge(now)
+	case CmdRead, CmdWrite:
+		if !b.CanColumn(now, cmd.Row) {
+			return false
+		}
+		if now+c.timing.CL < c.dataBusFreeAt {
+			return false
+		}
+		if cmd.Kind == CmdRead {
+			// Write-to-read turnaround on the rank.
+			return now >= c.writeRecoveryEnd
+		}
+		// Read-to-write turnaround on the data bus.
+		return now >= c.readBurstEnd+c.timing.RTW-c.timing.CL
+	}
+	return false
+}
+
+// Issue executes cmd at cycle now. For column accesses it returns the
+// cycle at which the data burst completes (the request's data is
+// available then); for row commands it returns 0. Issue panics if the
+// command is not ready — the controller must check CanIssue first; a
+// violation is a scheduler bug, not a runtime condition.
+func (c *Channel) Issue(cmd Command, now int64) (burstDone int64) {
+	if !c.CanIssue(cmd, now) {
+		panic(fmt.Sprintf("dram: command %v to bank %d not ready at cycle %d", cmd.Kind, cmd.Bank, now))
+	}
+	b := &c.banks[cmd.Bank]
+	switch cmd.Kind {
+	case CmdActivate:
+		b.Activate(now, cmd.Row, c.timing)
+		c.actTimes[c.actNext] = now
+		c.actNext = (c.actNext + 1) % 4
+		c.stats.Activates++
+		return 0
+	case CmdPrecharge:
+		b.Precharge(now, c.timing)
+		c.stats.Precharges++
+		return 0
+	default:
+		burstDone = b.Column(now, cmd.Kind == CmdWrite, c.timing)
+		c.dataBusFreeAt = burstDone
+		c.stats.BusyCycles += c.timing.BurstCycles
+		if cmd.Kind == CmdWrite {
+			c.writeRecoveryEnd = burstDone + c.timing.WTR
+			c.stats.Writes++
+		} else {
+			c.readBurstEnd = burstDone
+			c.stats.Reads++
+		}
+		return burstDone
+	}
+}
+
+// RecordOutcome counts the row-buffer classification of a request at
+// the moment the controller first schedules a command for it.
+func (c *Channel) RecordOutcome(o RowBufferOutcome) {
+	switch o {
+	case RowHit:
+		c.stats.RowHits++
+	case RowClosed:
+		c.stats.RowClosed++
+	default:
+		c.stats.RowConflict++
+	}
+}

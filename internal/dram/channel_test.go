@@ -1,0 +1,167 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelNextCommand(t *testing.T) {
+	tm := DefaultTiming()
+	ch := NewChannel(8, tm)
+
+	// Closed bank: activate first.
+	cmd := ch.NextCommand(3, 11, false)
+	if cmd.Kind != CmdActivate || cmd.Bank != 3 || cmd.Row != 11 {
+		t.Fatalf("closed bank NextCommand = %+v, want ACT bank3 row11", cmd)
+	}
+	if !ch.CanIssue(cmd, 0) {
+		t.Fatal("activate should be issuable on idle bank")
+	}
+	ch.Issue(cmd, 0)
+
+	// Open matching row: read.
+	cmd = ch.NextCommand(3, 11, false)
+	if cmd.Kind != CmdRead {
+		t.Fatalf("open-row NextCommand = %v, want RD", cmd.Kind)
+	}
+	// Open matching row, write request: write.
+	if k := ch.NextCommand(3, 11, true).Kind; k != CmdWrite {
+		t.Fatalf("open-row write NextCommand = %v, want WR", k)
+	}
+	// Conflicting row: precharge.
+	if k := ch.NextCommand(3, 12, false).Kind; k != CmdPrecharge {
+		t.Fatalf("conflict NextCommand = %v, want PRE", k)
+	}
+}
+
+func TestChannelDataBusSerializesBursts(t *testing.T) {
+	tm := DefaultTiming()
+	ch := NewChannel(8, tm)
+	// Open two banks (tRRD apart).
+	ch.Issue(Command{CmdActivate, 0, 1}, 0)
+	ch.Issue(Command{CmdActivate, 1, 1}, tm.RRD)
+
+	rd0 := Command{CmdRead, 0, 1}
+	rd1 := Command{CmdRead, 1, 1}
+	if !ch.CanIssue(rd0, tm.RCD) {
+		t.Fatal("first read should be ready at tRCD")
+	}
+	ch.Issue(rd0, tm.RCD)
+	// Second read's data window would overlap the first burst until
+	// BurstCycles later.
+	if ch.CanIssue(rd1, tm.RCD+tm.BurstCycles-10) {
+		t.Error("second read allowed while bus slot overlaps")
+	}
+	if !ch.CanIssue(rd1, tm.RCD+tm.BurstCycles) {
+		t.Error("second read refused after bus slot frees")
+	}
+}
+
+func TestChannelIssuePanicsWhenNotReady(t *testing.T) {
+	ch := NewChannel(8, DefaultTiming())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Issue of a non-ready command must panic")
+		}
+	}()
+	ch.Issue(Command{CmdRead, 0, 0}, 0) // bank closed: not ready
+}
+
+func TestChannelStats(t *testing.T) {
+	tm := DefaultTiming()
+	ch := NewChannel(8, tm)
+	ch.Issue(Command{CmdActivate, 0, 1}, 0)
+	ch.Issue(Command{CmdRead, 0, 1}, tm.RCD)
+	// The write must clear both the data-bus slot and the
+	// read-to-write turnaround.
+	wrAt := tm.RCD + tm.CL + tm.BurstCycles + tm.RTW - tm.CL
+	ch.Issue(Command{CmdWrite, 0, 1}, wrAt)
+	ch.Issue(Command{CmdPrecharge, 0, 1}, wrAt+tm.CL+tm.BurstCycles+tm.WR+tm.RAS)
+
+	s := ch.Stats()
+	if s.Activates != 1 || s.Reads != 1 || s.Writes != 1 || s.Precharges != 1 {
+		t.Errorf("stats = %+v, want 1 of each command", s)
+	}
+	if s.BusyCycles != 2*tm.BurstCycles {
+		t.Errorf("BusyCycles = %d, want %d", s.BusyCycles, 2*tm.BurstCycles)
+	}
+}
+
+func TestRecordOutcomeAndHitRate(t *testing.T) {
+	ch := NewChannel(8, DefaultTiming())
+	ch.RecordOutcome(RowHit)
+	ch.RecordOutcome(RowHit)
+	ch.RecordOutcome(RowConflict)
+	ch.RecordOutcome(RowClosed)
+	if got := ch.Stats().RowHitRate(); got != 0.5 {
+		t.Errorf("RowHitRate = %v, want 0.5", got)
+	}
+	var empty Stats
+	if empty.RowHitRate() != 0 {
+		t.Error("empty stats should have zero hit rate")
+	}
+}
+
+func TestCommandKindClasses(t *testing.T) {
+	if !CmdRead.IsColumn() || !CmdWrite.IsColumn() {
+		t.Error("read/write must be column commands")
+	}
+	if CmdActivate.IsColumn() || CmdPrecharge.IsColumn() {
+		t.Error("activate/precharge are not column commands")
+	}
+	if !CmdActivate.IsRow() || !CmdPrecharge.IsRow() {
+		t.Error("activate/precharge must be row commands")
+	}
+	names := map[CommandKind]string{CmdActivate: "ACT", CmdRead: "RD", CmdWrite: "WR", CmdPrecharge: "PRE"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// TestChannelGreedyServiceProperty drives a channel with random
+// single-bank access sequences using a greedy "issue the request's
+// next command as soon as it is ready" loop and checks the invariants:
+// every access completes, in bounded time, and the classification
+// sequence is consistent with the row history.
+func TestChannelGreedyServiceProperty(t *testing.T) {
+	tm := DefaultTiming()
+	f := func(rows []uint8) bool {
+		if len(rows) == 0 {
+			return true
+		}
+		if len(rows) > 40 {
+			rows = rows[:40]
+		}
+		ch := NewChannel(8, tm)
+		now := int64(0)
+		lastRow := -1
+		for _, r := range rows {
+			row := int(r % 4)
+			deadline := now + 10*(tm.ConflictLatency()+tm.BurstCycles+tm.RAS)
+			for {
+				cmd := ch.NextCommand(0, row, false)
+				if ch.CanIssue(cmd, now) {
+					done := ch.Issue(cmd, now)
+					if cmd.Kind == CmdRead {
+						if lastRow == row && cmd.Kind != CmdRead {
+							return false
+						}
+						now = done
+						break
+					}
+				}
+				now += tm.CPUCyclesPerDRAMCycle
+				if now > deadline {
+					return false // request starved: invariant violated
+				}
+			}
+			lastRow = row
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package dram
+
+// CommandKind enumerates the DRAM commands the controller can issue.
+type CommandKind uint8
+
+const (
+	// CmdActivate opens a row: moves it from the memory array into the
+	// bank's row buffer. The bank becomes usable for column accesses
+	// after tRCD.
+	CmdActivate CommandKind = iota
+	// CmdRead is a column read from the open row; data occupies the
+	// data bus for BurstCycles starting tCL after the command.
+	CmdRead
+	// CmdWrite is a column write to the open row.
+	CmdWrite
+	// CmdPrecharge writes the row buffer back into the memory array,
+	// closing the bank. A new activate may issue after tRP.
+	CmdPrecharge
+)
+
+// String returns the conventional name of the command.
+func (k CommandKind) String() string {
+	switch k {
+	case CmdActivate:
+		return "ACT"
+	case CmdRead:
+		return "RD"
+	case CmdWrite:
+		return "WR"
+	case CmdPrecharge:
+		return "PRE"
+	}
+	return "UNKNOWN"
+}
+
+// IsColumn reports whether the command is a column access (read or
+// write) — the "column-first" class that FR-FCFS prioritizes.
+func (k CommandKind) IsColumn() bool { return k == CmdRead || k == CmdWrite }
+
+// IsRow reports whether the command is a row access (activate or
+// precharge).
+func (k CommandKind) IsRow() bool { return k == CmdActivate || k == CmdPrecharge }
+
+// Command is one DRAM command directed at a bank of a channel.
+type Command struct {
+	Kind CommandKind
+	Bank int
+	Row  int
+}

@@ -1,0 +1,72 @@
+package dram
+
+import "testing"
+
+// Rank-level inter-command constraint tests (tRRD, tFAW, tWTR, tRTW).
+
+func TestRRDSpacesActivates(t *testing.T) {
+	tm := DefaultTiming()
+	ch := NewChannel(8, tm)
+	ch.Issue(Command{CmdActivate, 0, 1}, 0)
+	if ch.CanIssue(Command{CmdActivate, 1, 1}, tm.RRD-10) {
+		t.Error("activate to another bank allowed inside tRRD")
+	}
+	if !ch.CanIssue(Command{CmdActivate, 1, 1}, tm.RRD) {
+		t.Error("activate refused after tRRD")
+	}
+}
+
+func TestFAWLimitsActivateBursts(t *testing.T) {
+	tm := DefaultTiming()
+	ch := NewChannel(8, tm)
+	// Four activates at the tRRD pace.
+	at := int64(0)
+	for b := 0; b < 4; b++ {
+		if !ch.CanIssue(Command{CmdActivate, b, 1}, at) {
+			t.Fatalf("activate %d refused at %d", b, at)
+		}
+		ch.Issue(Command{CmdActivate, b, 1}, at)
+		at += tm.RRD
+	}
+	// The fifth must wait until tFAW from the first.
+	if ch.CanIssue(Command{CmdActivate, 4, 1}, at) {
+		t.Errorf("fifth activate allowed at %d inside the tFAW window", at)
+	}
+	if !ch.CanIssue(Command{CmdActivate, 4, 1}, tm.FAW) {
+		t.Error("fifth activate refused after tFAW")
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	tm := DefaultTiming()
+	ch := NewChannel(8, tm)
+	ch.Issue(Command{CmdActivate, 0, 1}, 0)
+	ch.Issue(Command{CmdActivate, 1, 1}, tm.RRD)
+	wrAt := tm.RCD
+	done := ch.Issue(Command{CmdWrite, 0, 1}, wrAt)
+	// A read on any bank must wait tWTR past the write burst.
+	if ch.CanIssue(Command{CmdRead, 1, 1}, done+tm.WTR-10) {
+		t.Error("read allowed during write-to-read turnaround")
+	}
+	if !ch.CanIssue(Command{CmdRead, 1, 1}, done+tm.WTR) {
+		t.Error("read refused after tWTR")
+	}
+}
+
+func TestReadToWriteTurnaround(t *testing.T) {
+	tm := DefaultTiming()
+	ch := NewChannel(8, tm)
+	ch.Issue(Command{CmdActivate, 0, 1}, 0)
+	ch.Issue(Command{CmdActivate, 1, 1}, tm.RRD)
+	rdAt := tm.RCD
+	done := ch.Issue(Command{CmdRead, 0, 1}, rdAt)
+	earliest := done + tm.RTW - tm.CL
+	if earliest > rdAt {
+		if ch.CanIssue(Command{CmdWrite, 1, 1}, earliest-10) {
+			t.Error("write allowed during read-to-write turnaround")
+		}
+	}
+	if !ch.CanIssue(Command{CmdWrite, 1, 1}, earliest+tm.CPUCyclesPerDRAMCycle) {
+		t.Error("write refused after the turnaround")
+	}
+}

@@ -1,0 +1,53 @@
+package dram
+
+import "testing"
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	ch := NewChannel(8, DefaultTiming())
+	for now := int64(0); now < 100_000; now += 10 {
+		ch.MaybeRefresh(now)
+	}
+	if ch.Stats().Refreshes != 0 {
+		t.Error("refresh must be off by default")
+	}
+}
+
+func TestWithRefreshValues(t *testing.T) {
+	tm := DefaultTiming().WithRefresh()
+	if tm.REFI != 31_200 || tm.RFC != 510 {
+		t.Errorf("refresh timing = %d/%d, want 31200/510", tm.REFI, tm.RFC)
+	}
+}
+
+func TestRefreshClosesRowsAndBlocksBanks(t *testing.T) {
+	tm := DefaultTiming().WithRefresh()
+	ch := NewChannel(8, tm)
+	ch.Issue(Command{CmdActivate, 0, 5}, 0)
+	if ch.Bank(0).State() != BankOpen {
+		t.Fatal("bank should be open")
+	}
+	ch.MaybeRefresh(tm.REFI)
+	if ch.Bank(0).State() != BankClosed {
+		t.Error("refresh must close open rows")
+	}
+	if ch.CanIssue(Command{CmdActivate, 0, 5}, tm.REFI+tm.RFC-10) {
+		t.Error("activate allowed during refresh cycle")
+	}
+	if !ch.CanIssue(Command{CmdActivate, 0, 5}, tm.REFI+tm.RFC) {
+		t.Error("activate refused after refresh completes")
+	}
+	if ch.Stats().Refreshes != 1 {
+		t.Errorf("refresh count = %d", ch.Stats().Refreshes)
+	}
+}
+
+func TestRefreshCadence(t *testing.T) {
+	tm := DefaultTiming().WithRefresh()
+	ch := NewChannel(8, tm)
+	for now := int64(0); now <= 10*tm.REFI; now += 10 {
+		ch.MaybeRefresh(now)
+	}
+	if got := ch.Stats().Refreshes; got != 10 {
+		t.Errorf("refreshes = %d over 10 intervals, want 10", got)
+	}
+}

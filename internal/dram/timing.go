@@ -1,0 +1,117 @@
+// Package dram models a DDR2-style SDRAM memory system at command
+// granularity: ranks of independent banks with row buffers, an address
+// bus that carries one command per DRAM cycle, and a data bus occupied
+// for a burst per column access.
+//
+// The model follows Section 2 of Mutlu & Moscibroda, "Stall-Time Fair
+// Memory Access Scheduling for Chip Multiprocessors" (MICRO 2007) and
+// the DDR2-800 parameters of its Table 2. All times are expressed in
+// CPU cycles of the 4 GHz processor that the paper simulates; the DRAM
+// command clock ticks once every CPUCyclesPerDRAMCycle CPU cycles.
+package dram
+
+// Timing collects the DRAM timing constraints used by the model, in CPU
+// cycles. The defaults (see DefaultTiming) correspond to Micron
+// DDR2-800 as quoted in Table 2 of the paper: tCL = tRCD = tRP = 15 ns
+// and BL/2 = 10 ns at a 4 GHz CPU clock.
+type Timing struct {
+	// CL is the CAS (column read) latency: cycles from a read command
+	// until data appears on the data bus.
+	CL int64
+	// RCD is the RAS-to-CAS delay: cycles from an activate command
+	// until a column access to the opened row may issue.
+	RCD int64
+	// RP is the row-precharge time: cycles from a precharge command
+	// until the bank can accept a new activate.
+	RP int64
+	// RAS is the minimum time a row must stay open after an activate
+	// before it may be precharged.
+	RAS int64
+	// WR is the write-recovery time: cycles after the end of a write
+	// burst before the bank may be precharged.
+	WR int64
+	// RTP is the read-to-precharge delay: cycles after a read command
+	// before the bank may be precharged (the data has moved to the
+	// output pipeline by then, so the precharge does not corrupt the
+	// in-flight burst).
+	RTP int64
+	// BurstCycles is the data-bus occupancy of one cache-line transfer
+	// (BL/2 DRAM clocks for DDR; 10 ns for a 64-byte line on the
+	// paper's single 6.4 GB/s channel).
+	BurstCycles int64
+	// RoundTripOverhead is the fixed on-chip latency (controller
+	// queuing-free path, crossbar, fill) added to every request so
+	// that the uncontended round trip of a row hit matches the
+	// paper's 140 CPU cycles.
+	RoundTripOverhead int64
+	// CPUCyclesPerDRAMCycle is the ratio of the CPU clock to the DRAM
+	// command clock; the controller makes one decision per DRAM cycle.
+	CPUCyclesPerDRAMCycle int64
+	// REFI is the average refresh interval: every REFI cycles the
+	// channel issues an all-bank auto-refresh that blocks the banks
+	// for RFC cycles. 0 disables refresh (the paper's evaluation
+	// ignores it; it exists here for realism studies and is off by
+	// default).
+	REFI int64
+	// RFC is the refresh cycle time (bank-blocking duration).
+	RFC int64
+	// RRD is the minimum spacing between activates to different banks
+	// of the same rank (DDR2-800: 7.5 ns).
+	RRD int64
+	// FAW is the rolling four-activate window: at most four activates
+	// may issue within any FAW cycles (DDR2-800: 37.5 ns).
+	FAW int64
+	// WTR is the internal write-to-read turnaround: after a write
+	// burst completes, no read command may issue on the rank for WTR
+	// cycles (DDR2-800: 7.5 ns).
+	WTR int64
+	// RTW is the read-to-write turnaround the controller must leave
+	// between a read burst's completion and the next write command.
+	RTW int64
+}
+
+// WithRefresh returns a copy of the timing with DDR2-typical refresh
+// enabled: tREFI = 7.8 us, tRFC = 127.5 ns (1 Gb device), at 4 GHz.
+func (t Timing) WithRefresh() Timing {
+	t.REFI = 31_200 // 7.8 us
+	t.RFC = 510     // 127.5 ns
+	return t
+}
+
+// DefaultTiming returns the paper's Table 2 configuration translated to
+// 4 GHz CPU cycles (1 ns = 4 cycles).
+func DefaultTiming() Timing {
+	return Timing{
+		CL:                    60,  // 15 ns
+		RCD:                   60,  // 15 ns
+		RP:                    60,  // 15 ns
+		RAS:                   180, // 45 ns (typical DDR2-800)
+		WR:                    60,  // 15 ns
+		RTP:                   30,  // 7.5 ns
+		BurstCycles:           40,  // 10 ns (BL/2 at 6.4 GB/s)
+		RoundTripOverhead:     40,  // 10 ns: row-hit round trip = 140 cycles
+		CPUCyclesPerDRAMCycle: 10,  // 400 MHz command clock at 4 GHz CPU
+		RRD:                   30,  // 7.5 ns
+		FAW:                   150, // 37.5 ns
+		WTR:                   30,  // 7.5 ns
+		RTW:                   20,  // 5 ns
+	}
+}
+
+// HitLatency returns the uncontended bank latency of a row-buffer hit
+// (column access only), excluding bus transfer and overhead.
+func (t Timing) HitLatency() int64 { return t.CL }
+
+// ClosedLatency returns the uncontended bank latency when the bank has
+// no open row (activate + column access).
+func (t Timing) ClosedLatency() int64 { return t.RCD + t.CL }
+
+// ConflictLatency returns the uncontended bank latency of a row-buffer
+// conflict (precharge + activate + column access).
+func (t Timing) ConflictLatency() int64 { return t.RP + t.RCD + t.CL }
+
+// RoundTrip returns the full uncontended request latency for the given
+// bank latency: bank access plus burst transfer plus fixed overhead.
+func (t Timing) RoundTrip(bankLatency int64) int64 {
+	return bankLatency + t.BurstCycles + t.RoundTripOverhead
+}

@@ -1,0 +1,51 @@
+package dram
+
+import "testing"
+
+func TestDefaultTimingMatchesPaper(t *testing.T) {
+	tm := DefaultTiming()
+	// Table 2: tCL = tRCD = tRP = 15 ns at 4 GHz = 60 cycles.
+	if tm.CL != 60 || tm.RCD != 60 || tm.RP != 60 {
+		t.Errorf("CL/RCD/RP = %d/%d/%d, want 60/60/60", tm.CL, tm.RCD, tm.RP)
+	}
+	if tm.BurstCycles != 40 {
+		t.Errorf("BurstCycles = %d, want 40 (10 ns)", tm.BurstCycles)
+	}
+	if tm.CPUCyclesPerDRAMCycle != 10 {
+		t.Errorf("CPUCyclesPerDRAMCycle = %d, want 10", tm.CPUCyclesPerDRAMCycle)
+	}
+}
+
+func TestBankLatencies(t *testing.T) {
+	tm := DefaultTiming()
+	if got := tm.HitLatency(); got != 60 {
+		t.Errorf("HitLatency = %d, want tCL = 60", got)
+	}
+	if got := tm.ClosedLatency(); got != 120 {
+		t.Errorf("ClosedLatency = %d, want tRCD+tCL = 120", got)
+	}
+	if got := tm.ConflictLatency(); got != 180 {
+		t.Errorf("ConflictLatency = %d, want tRP+tRCD+tCL = 180", got)
+	}
+}
+
+func TestRoundTripsMatchPaper(t *testing.T) {
+	tm := DefaultTiming()
+	// Table 2 quotes uncontended round trips of 140 (hit) and 200
+	// (closed) CPU cycles; the conflict case is 260 in our
+	// self-consistent timing (see DESIGN.md for the 280 delta).
+	cases := []struct {
+		name string
+		bank int64
+		want int64
+	}{
+		{"hit", tm.HitLatency(), 140},
+		{"closed", tm.ClosedLatency(), 200},
+		{"conflict", tm.ConflictLatency(), 260},
+	}
+	for _, c := range cases {
+		if got := tm.RoundTrip(c.bank); got != c.want {
+			t.Errorf("RoundTrip(%s) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stfm/internal/sim"
+)
+
+// EstimatorAccuracy quantifies how well STFM's hardware slowdown
+// estimates track measured slowdowns — the property everything else
+// rests on. The paper discusses estimation error qualitatively
+// (Section 7.2.1 notes libquantum's slowdown is underestimated;
+// Section 7.2.2 notes high-parallelism threads are hard to estimate);
+// this experiment measures it: for each case-study workload it runs
+// STFM, then compares the scheduler's final internal slowdown estimate
+// of every thread with the slowdown measured over the full run against
+// the alone baseline.
+func EstimatorAccuracy(r *Runner) (*Report, error) {
+	rep := &Report{ID: "estimator", Title: "STFM slowdown-estimate accuracy (estimate vs measured)"}
+	cases := [][]string{
+		{"mcf", "libquantum"},
+		{"mcf", "libquantum", "GemsFDTD", "astar"},
+		{"mcf", "leslie3d", "h264ref", "bzip2"},
+		{"libquantum", "omnetpp", "hmmer", "h264ref"},
+	}
+	rep.addf("%-12s %10s %10s %8s   %s", "thread", "estimate", "measured", "bias%", "interference split (bus/bank/own)")
+	for _, names := range cases {
+		profs, err := Profiles(names...)
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.baseConfig(sim.PolicySTFM, len(profs))
+		sys, err := sim.NewSystem(cfg, profs)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Run(); err != nil {
+			return nil, err
+		}
+		st := sys.STFM()
+		rep.addf("-- workload: %v", names)
+		for i, p := range profs {
+			alone, err := r.Alone(p, sim.ChannelsFor(len(profs)))
+			if err != nil {
+				return nil, err
+			}
+			measured := 1.0
+			if alone.MCPI > 0 {
+				measured = sys.Core(i).MCPI() / alone.MCPI
+			}
+			est := st.Slowdown(i)
+			bias := (est/measured - 1) * 100
+			bus, bank, own := st.InterferenceBreakdown(i)
+			total := bus + bank + own
+			if total == 0 {
+				total = 1
+			}
+			rep.addf("%-12s %10.2f %10.2f %7.1f%%   %.0f%% / %.0f%% / %.0f%%",
+				p.Name, est, measured, bias, bus/total*100, bank/total*100, own/total*100)
+		}
+	}
+	rep.addf("")
+	rep.addf("Positive bias: STFM over-protects the thread; negative: it under-protects.")
+	return rep, nil
+}
+
+// MultiSeed reruns the intensive case study across several seeds and
+// reports the spread of the headline metrics, separating reproduction
+// signal from workload-generation noise.
+func MultiSeed(r *Runner) (*Report, error) {
+	rep := &Report{ID: "seeds", Title: "Seed sensitivity of the intensive 4-core case study"}
+	rep.addf("%-6s | %-9s | %10s %10s", "seed", "policy", "unfairness", "wspeedup")
+	profs, err := Profiles("mcf", "libquantum", "GemsFDTD", "astar")
+	if err != nil {
+		return nil, err
+	}
+	for _, seed := range []uint64{1, 2, 3, 5, 8} {
+		sub := NewRunner(Options{
+			InstrTarget: r.opts.InstrTarget,
+			MinMisses:   r.opts.MinMisses,
+			Seed:        seed,
+			Channels:    r.opts.Channels,
+			Geometry:    r.opts.Geometry,
+		})
+		for _, pol := range []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM} {
+			wr, err := sub.RunWorkload(pol, profs, nil)
+			if err != nil {
+				return nil, err
+			}
+			rep.addf("%-6d | %-9s | %10.2f %10.2f", seed, pol, wr.Unfairness, wr.WeightedSpeedup)
+		}
+	}
+	rep.addf("%s", fmt.Sprintf("(STFM's unfairness should stay below FR-FCFS's for every seed)"))
+	return rep, nil
+}

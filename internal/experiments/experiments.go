@@ -1,0 +1,194 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (Section 7). Each experiment builds workloads from the
+// Table 3 benchmark profiles, runs them under the evaluated schedulers,
+// and reports the paper's metrics. The per-experiment index lives in
+// DESIGN.md; paper-vs-measured results are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"stfm/internal/dram"
+	"stfm/internal/metrics"
+	"stfm/internal/sim"
+	"stfm/internal/trace"
+)
+
+// Options tunes experiment scale. Defaults balance fidelity and run
+// time; benches shrink them further.
+type Options struct {
+	// InstrTarget is the per-thread instruction budget.
+	InstrTarget int64
+	// MinMisses extends sparse threads' windows so every thread's
+	// slowdown is measured over at least this many DRAM accesses (see
+	// sim.Config.MinMisses).
+	MinMisses int64
+	// Seed drives workload generation.
+	Seed uint64
+	// Channels overrides channel auto-scaling (0 = paper scaling).
+	Channels int
+	// Geometry / Timing override the DRAM organization (Table 5).
+	Geometry *dram.Geometry
+	Timing   *dram.Timing
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options {
+	return Options{InstrTarget: 200_000, MinMisses: 150, Seed: 1}
+}
+
+// Runner executes workloads and caches alone-run baselines, since
+// every slowdown computation compares a shared run against the same
+// benchmark running alone in the same memory system under FR-FCFS
+// (Section 6.2).
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	alone map[string]sim.ThreadResult
+}
+
+// NewRunner creates a Runner with the given options.
+func NewRunner(opts Options) *Runner {
+	if opts.InstrTarget <= 0 {
+		opts.InstrTarget = DefaultOptions().InstrTarget
+	}
+	return &Runner{opts: opts, alone: make(map[string]sim.ThreadResult)}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+func (r *Runner) baseConfig(policy sim.PolicyKind, cores int) sim.Config {
+	cfg := sim.DefaultConfig(policy, cores)
+	cfg.InstrTarget = r.opts.InstrTarget
+	cfg.MinMisses = r.opts.MinMisses
+	cfg.Seed = r.opts.Seed
+	cfg.Channels = r.opts.Channels
+	cfg.Geometry = r.opts.Geometry
+	cfg.Timing = r.opts.Timing
+	return cfg
+}
+
+// aloneKey captures everything that changes an alone-run baseline.
+func (r *Runner) aloneKey(name string, channels int) string {
+	key := fmt.Sprintf("%s/ch%d/i%d/m%d/s%d", name, channels, r.opts.InstrTarget, r.opts.MinMisses, r.opts.Seed)
+	if g := r.opts.Geometry; g != nil {
+		key += fmt.Sprintf("/b%d/rb%d", g.BanksPerChannel, g.RowBufferBytes)
+	}
+	return key
+}
+
+// Alone returns the benchmark's alone-run result in a memory system
+// with the given channel count, computing and caching it on first use.
+func (r *Runner) Alone(p trace.Profile, channels int) (sim.ThreadResult, error) {
+	key := r.aloneKey(p.Name, channels)
+	r.mu.Lock()
+	if res, ok := r.alone[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	cfg := r.baseConfig(sim.PolicyFRFCFS, 1)
+	cfg.Channels = channels
+	res, err := sim.Run(cfg, []trace.Profile{p})
+	if err != nil {
+		return sim.ThreadResult{}, fmt.Errorf("alone run of %s: %w", p.Name, err)
+	}
+	th := res.Threads[0]
+	r.mu.Lock()
+	r.alone[key] = th
+	r.mu.Unlock()
+	return th, nil
+}
+
+// WorkloadResult is one (workload, scheduler) data point with all of
+// the paper's metrics.
+type WorkloadResult struct {
+	Policy     sim.PolicyKind
+	Benchmarks []string
+	Shared     []sim.ThreadResult
+	AloneMCPI  []float64
+	AloneIPC   []float64
+	// Slowdowns are the per-thread memory slowdowns
+	// (MCPI_shared / MCPI_alone).
+	Slowdowns []float64
+	// Unfairness is max slowdown over min slowdown.
+	Unfairness float64
+	// WeightedSpeedup, HmeanSpeedup, SumIPC are the throughput
+	// metrics of Section 6.2.
+	WeightedSpeedup float64
+	HmeanSpeedup    float64
+	SumIPC          float64
+}
+
+// RunWorkload runs the given benchmark mix under policy and computes
+// the paper's metrics against cached alone baselines. mutate, if
+// non-nil, adjusts the simulation config (weights, STFM parameters,
+// DRAM geometry) before the run.
+func (r *Runner) RunWorkload(policy sim.PolicyKind, profiles []trace.Profile, mutate func(*sim.Config)) (*WorkloadResult, error) {
+	cfg := r.baseConfig(policy, len(profiles))
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	channels := cfg.Channels
+	if channels == 0 {
+		channels = sim.ChannelsFor(len(profiles))
+	}
+	res, err := sim.Run(cfg, profiles)
+	if err != nil {
+		return nil, err
+	}
+	wr := &WorkloadResult{
+		Policy:     policy,
+		Benchmarks: trace.Names(profiles),
+		Shared:     res.Threads,
+	}
+	sharedIPC := make([]float64, len(profiles))
+	sharedMCPI := make([]float64, len(profiles))
+	for i, th := range res.Threads {
+		alone, err := r.Alone(profiles[i], channels)
+		if err != nil {
+			return nil, err
+		}
+		wr.AloneMCPI = append(wr.AloneMCPI, alone.MCPI)
+		wr.AloneIPC = append(wr.AloneIPC, alone.IPC)
+		sharedIPC[i] = th.IPC
+		sharedMCPI[i] = th.MCPI
+	}
+	wr.Slowdowns = metrics.MemSlowdowns(sharedMCPI, wr.AloneMCPI)
+	wr.Unfairness = metrics.Unfairness(wr.Slowdowns)
+	wr.WeightedSpeedup = metrics.WeightedSpeedup(sharedIPC, wr.AloneIPC)
+	wr.HmeanSpeedup = metrics.HmeanSpeedup(sharedIPC, wr.AloneIPC)
+	wr.SumIPC = metrics.SumIPC(sharedIPC)
+	return wr, nil
+}
+
+// RunAllPolicies runs the mix under all five schedulers.
+func (r *Runner) RunAllPolicies(profiles []trace.Profile, mutate func(*sim.Config)) (map[sim.PolicyKind]*WorkloadResult, error) {
+	out := make(map[sim.PolicyKind]*WorkloadResult, 5)
+	for _, pol := range sim.AllPolicies() {
+		wr, err := r.RunWorkload(pol, profiles, mutate)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pol, err)
+		}
+		out[pol] = wr
+	}
+	return out, nil
+}
+
+// Profiles resolves benchmark names to profiles, failing fast on
+// unknown names.
+func Profiles(names ...string) ([]trace.Profile, error) {
+	var out []trace.Profile
+	for _, n := range names {
+		p, err := trace.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

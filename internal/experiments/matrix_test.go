@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"stfm/internal/core"
+	"stfm/internal/sim"
+)
+
+// TestSTFMMatrix sweeps estimator variants to pick the default
+// configuration (temporary tuning aid).
+func TestSTFMMatrix(t *testing.T) {
+	mixes := map[string][]string{
+		"2core": {"mcf", "libquantum"},
+		"cs1":   {"mcf", "libquantum", "GemsFDTD", "astar"},
+		"cs3":   {"libquantum", "omnetpp", "hmmer", "h264ref"},
+	}
+	for name, mix := range mixes {
+		profs, err := Profiles(mix...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []struct {
+			label string
+			bank  bool
+			gamma float64
+		}{
+			{"QWP g=0.5", false, 0.5},
+			{"BWP g=0.5", true, 0.5},
+			{"BWP g=1.0", true, 1.0},
+			{"QWP g=1.0", false, 1.0},
+		} {
+			r := NewRunner(DefaultOptions())
+			wr, err := r.RunWorkload(sim.PolicySTFM, profs, func(c *sim.Config) {
+				c.STFM = core.DefaultConfig()
+				c.STFM.RequestCountParallelism = !v.bank
+				c.STFM.Gamma = v.gamma
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-6s %-9s slowdowns=%.2f unfairness=%.2f WS=%.2f", name, v.label, wr.Slowdowns, wr.Unfairness, wr.WeightedSpeedup)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"testing"
+
+	"stfm/internal/sim"
+	"stfm/internal/trace"
+)
+
+// The paper's Section 4 analyzes two structural failure modes of
+// NFQ-style fair queueing and the attack scenario of its reference
+// [20]; these tests confirm each one end to end on the simulator.
+
+// TestNFQIdlenessProblemEndToEnd is the controlled version of the
+// paper's Figure 3 scenario: four threads identical in every respect
+// except that one issues continuously and three are bursty. NFQ's
+// virtual deadlines lag for the bursty threads during their idle
+// periods, so on return they capture the DRAM and the continuous
+// thread pays; STFM treats un-slowed threads equally regardless of
+// when they issued.
+func TestNFQIdlenessProblemEndToEnd(t *testing.T) {
+	r := NewRunner(DefaultOptions())
+	base := trace.Profile{
+		MPKI:           30,
+		RowHit:         0.5,
+		Category:       trace.IntensiveLowRB,
+		Duty:           1.0,
+		MLP:            2,
+		WriteFraction:  0.1,
+		WorkingSetRows: 256,
+	}
+	cont := base
+	cont.Name = "continuous"
+	bursty := base
+	bursty.Name = "bursty"
+	bursty.Duty = 0.2
+	profs := []trace.Profile{cont, bursty, bursty, bursty}
+
+	nfq, err := r.RunWorkload(sim.PolicyNFQ, profs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stfm, err := r.RunWorkload(sim.PolicySTFM, profs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the continuous thread's penalty relative to the bursty
+	// threads' average under each scheduler.
+	rel := func(w *WorkloadResult) float64 {
+		burstAvg := (w.Slowdowns[1] + w.Slowdowns[2] + w.Slowdowns[3]) / 3
+		return w.Slowdowns[0] / burstAvg
+	}
+	t.Logf("continuous/bursty slowdown ratio: NFQ %.2f vs STFM %.2f (NFQ slowdowns %v)",
+		rel(nfq), rel(stfm), nfq.Slowdowns)
+	if rel(nfq) <= rel(stfm) {
+		t.Errorf("NFQ should penalize the continuous thread relative to bursty ones (idleness problem): NFQ ratio %.2f, STFM %.2f",
+			rel(nfq), rel(stfm))
+	}
+}
+
+// TestNFQAccessBalanceProblemEndToEnd: a thread whose accesses
+// concentrate on two banks (astar) accrues virtual deadlines in those
+// banks far faster than balanced threads and is deprioritized exactly
+// where it needs service.
+func TestNFQAccessBalanceProblemEndToEnd(t *testing.T) {
+	r := NewRunner(DefaultOptions())
+	profs, err := Profiles("mcf", "libquantum", "GemsFDTD", "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfq, err := r.RunWorkload(sim.PolicyNFQ, profs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stfm, err := r.RunWorkload(sim.PolicySTFM, profs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// astar is thread 3; under NFQ it should be the worst-off thread,
+	// and worse than under STFM.
+	t.Logf("astar slowdown: NFQ %.2f vs STFM %.2f", nfq.Slowdowns[3], stfm.Slowdowns[3])
+	worst := 0
+	for i, s := range nfq.Slowdowns {
+		if s > nfq.Slowdowns[worst] {
+			worst = i
+		}
+	}
+	if worst != 3 {
+		t.Errorf("expected astar (bank-skewed) to be NFQ's worst victim, got thread %d %v", worst, nfq.Slowdowns)
+	}
+	if nfq.Slowdowns[3] <= stfm.Slowdowns[3] {
+		t.Errorf("NFQ should hurt the bank-skewed thread more than STFM: %.2f vs %.2f",
+			nfq.Slowdowns[3], stfm.Slowdowns[3])
+	}
+}
+
+// TestMemoryPerformanceAttack reproduces the reference-[20] scenario:
+// a streaming attacker monopolizes a row-hit-first scheduler while
+// barely slowing down itself; STFM defuses it without identifying the
+// attacker.
+func TestMemoryPerformanceAttack(t *testing.T) {
+	r := NewRunner(DefaultOptions())
+	profs := []trace.Profile{trace.Attacker()}
+	victims, err := Profiles("omnetpp", "hmmer", "h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs = append(profs, victims...)
+
+	fr, err := r.RunWorkload(sim.PolicyFRFCFS, profs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stfm, err := r.RunWorkload(sim.PolicySTFM, profs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstVictim := 0.0
+	for _, s := range fr.Slowdowns[1:] {
+		if s > worstVictim {
+			worstVictim = s
+		}
+	}
+	t.Logf("FR-FCFS: attacker %.2f, worst victim %.2f; STFM unfairness %.2f vs FR-FCFS %.2f",
+		fr.Slowdowns[0], worstVictim, stfm.Unfairness, fr.Unfairness)
+	if fr.Slowdowns[0] > 1.6 {
+		t.Errorf("the attacker should barely slow down under FR-FCFS, got %.2f", fr.Slowdowns[0])
+	}
+	if worstVictim < 2*fr.Slowdowns[0] {
+		t.Errorf("victims should suffer far more than the attacker under FR-FCFS: %.2f vs %.2f",
+			worstVictim, fr.Slowdowns[0])
+	}
+	if stfm.Unfairness >= fr.Unfairness {
+		t.Errorf("STFM must defuse the attack: unfairness %.2f vs %.2f", stfm.Unfairness, fr.Unfairness)
+	}
+}

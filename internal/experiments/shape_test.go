@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+
+	"stfm/internal/sim"
+)
+
+// TestShapeTwoCore checks the Figure 5 headline shape: under FR-FCFS,
+// pairing mcf with libquantum slows mcf down far more than libquantum;
+// STFM then equalizes the slowdowns.
+func TestShapeTwoCore(t *testing.T) {
+	r := NewRunner(DefaultOptions())
+	profs, err := Profiles("mcf", "libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM} {
+		wr, err := r.RunWorkload(pol, profs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s mcf=%.2f libquantum=%.2f unfairness=%.2f WS=%.2f hmean=%.2f",
+			pol, wr.Slowdowns[0], wr.Slowdowns[1], wr.Unfairness, wr.WeightedSpeedup, wr.HmeanSpeedup)
+	}
+}
+
+// TestShapeCaseStudy1 reproduces Figure 6's ordering on the intensive
+// 4-core mix.
+func TestShapeCaseStudy1(t *testing.T) {
+	r := NewRunner(DefaultOptions())
+	profs, err := Profiles("mcf", "libquantum", "GemsFDTD", "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range sim.AllPolicies() {
+		wr, err := r.RunWorkload(pol, profs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-11s slowdowns=%.2f unfairness=%.2f WS=%.2f sumIPC=%.2f hmean=%.2f",
+			pol, wr.Slowdowns, wr.Unfairness, wr.WeightedSpeedup, wr.SumIPC, wr.HmeanSpeedup)
+	}
+}

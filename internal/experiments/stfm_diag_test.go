@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"stfm/internal/sim"
+)
+
+// TestSTFMEstimateAccuracy compares STFM's internal slowdown estimates
+// (Tshared / (Tshared - Tinterference)) against the measured
+// MCPI-ratio slowdowns; large divergence means the interference
+// accounting is mis-calibrated and STFM will equalize the wrong thing.
+func TestSTFMEstimateAccuracy(t *testing.T) {
+	r := NewRunner(DefaultOptions())
+	profs, err := Profiles("mcf", "libquantum", "GemsFDTD", "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := r.baseConfig(sim.PolicySTFM, len(profs))
+	sys, err := sim.NewSystem(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stfm := sys.STFM()
+	for i, th := range res.Threads {
+		alone, err := r.Alone(profs[i], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := th.MCPI / alone.MCPI
+		fullRun := sys.Core(i).MCPI() / alone.MCPI
+		bus, bank, own := stfm.InterferenceBreakdown(i)
+		trueTint := float64(sys.Core(i).MemStallCycles()) - alone.MCPI*float64(sys.Core(i).Committed())
+		t.Logf("%-10s est=%.2f measured=%.2f fullrun=%.2f Tsh=%d Tint=%.0f (true %.0f; bus=%.0f bank=%.0f own=%.0f)",
+			th.Benchmark, stfm.Slowdown(i), measured, fullRun, sys.Core(i).MemStallCycles(), stfm.Interference(i), trueTint, bus, bank, own)
+	}
+	t.Logf("fairness-mode fraction=%.3f unfairness(est)=%.2f", stfm.FairnessModeFraction(), stfm.Unfairness())
+}

@@ -1,0 +1,509 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"stfm/internal/dram"
+)
+
+// Config parameterizes a Controller. The zero value is not usable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	// NumThreads is the number of hardware threads (cores) sharing the
+	// controller.
+	NumThreads int
+	// ReadBufferCap bounds the queued (not yet data-bursting) read
+	// requests across all channels — the paper's 128-entry request
+	// buffer.
+	ReadBufferCap int
+	// WriteBufferCap bounds buffered writebacks — the paper's 32-entry
+	// write data buffer.
+	WriteBufferCap int
+	// WriteDrainHigh/WriteDrainLow are the occupancy watermarks that
+	// start and stop opportunistic write draining on a channel.
+	WriteDrainHigh int
+	WriteDrainLow  int
+}
+
+// DefaultConfig returns the paper's Table 2 controller configuration
+// for the given thread and channel counts.
+func DefaultConfig(numThreads, channels int) Config {
+	return Config{
+		Geometry:       dram.DefaultGeometry(channels),
+		Timing:         dram.DefaultTiming(),
+		NumThreads:     numThreads,
+		ReadBufferCap:  128,
+		WriteBufferCap: 32,
+		WriteDrainHigh: 24,
+		WriteDrainLow:  8,
+	}
+}
+
+// ThreadStats aggregates per-thread service statistics for metrics and
+// calibration.
+type ThreadStats struct {
+	ReadsServiced    int64
+	WritesServiced   int64
+	TotalReadLatency int64 // sum over reads of (complete - arrival) CPU cycles
+	RowHits          int64 // read requests first scheduled as row hits
+	RowClosed        int64
+	RowConflicts     int64
+	// ReadLatency is the distribution of read round trips; starvation
+	// under unfair scheduling shows up in its tail.
+	ReadLatency LatencyHistogram
+}
+
+// RowHitRate returns the thread's row-buffer hit rate over serviced
+// reads.
+func (s ThreadStats) RowHitRate() float64 {
+	total := s.RowHits + s.RowClosed + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// AvgReadLatency returns the mean read round-trip latency in CPU
+// cycles.
+func (s ThreadStats) AvgReadLatency() float64 {
+	if s.ReadsServiced == 0 {
+		return 0
+	}
+	return float64(s.TotalReadLatency) / float64(s.ReadsServiced)
+}
+
+// Controller is the DRAM memory controller: it buffers requests from
+// all cores, translates them to DRAM commands, and issues at most one
+// ready command per channel per DRAM cycle, chosen by the configured
+// Policy.
+type Controller struct {
+	cfg      Config
+	channels []*dram.Channel
+	policy   Policy
+
+	// Queued requests per channel, reads and writes separately. Order
+	// within the slices is not meaningful; arrival order lives in
+	// Request.ID.
+	reads  [][]*Request
+	writes [][]*Request
+	// inFlight holds requests whose column access has issued and
+	// whose completion time is pending.
+	inFlight []*Request
+
+	nextID       uint64
+	queuedReads  int
+	queuedWrites int
+	draining     []bool
+	queuedPerThr []int // queued read requests per thread
+	// inServiceBank[thread][channel*banks+bank] counts the thread's
+	// started-but-incomplete reads per bank; inServiceBanks[thread] is
+	// the number of banks with a non-zero count (the paper's
+	// BankAccessParallelism).
+	inServiceBank  [][]int16
+	inServiceBanks []int
+
+	threadStats []ThreadStats
+	scratch     []Candidate
+	bankBest    []*Candidate
+	// reserved[ch][bank] is the request whose activate opened the
+	// bank's current row and whose column access has not issued yet.
+	// Until that column access issues, the bank is not re-arbitrated
+	// to a conflicting request: closing a row that was opened but
+	// never used would waste the full tRCD+tRAS and allows priority
+	// ping-pong livelock between threads under slowdown-driven
+	// policies.
+	reserved [][]*Request
+
+	// CommandTrace, if non-nil, receives every issued command (used by
+	// tests and the trace inspection tool).
+	CommandTrace func(now int64, ch int, cmd dram.Command, req *Request)
+}
+
+// NewController builds a controller over freshly initialized DRAM
+// channels. policy may be nil at construction (STFM needs the
+// controller's View to build itself); it must then be installed with
+// SetPolicy before the first Tick.
+func NewController(cfg Config, policy Policy) (*Controller, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumThreads <= 0 {
+		return nil, fmt.Errorf("memctrl: NumThreads must be positive, got %d", cfg.NumThreads)
+	}
+	if cfg.ReadBufferCap <= 0 || cfg.WriteBufferCap <= 0 {
+		return nil, fmt.Errorf("memctrl: buffer capacities must be positive")
+	}
+	c := &Controller{
+		cfg:            cfg,
+		policy:         policy,
+		reads:          make([][]*Request, cfg.Geometry.Channels),
+		writes:         make([][]*Request, cfg.Geometry.Channels),
+		draining:       make([]bool, cfg.Geometry.Channels),
+		queuedPerThr:   make([]int, cfg.NumThreads),
+		inServiceBank:  make([][]int16, cfg.NumThreads),
+		inServiceBanks: make([]int, cfg.NumThreads),
+		threadStats:    make([]ThreadStats, cfg.NumThreads),
+	}
+	for i := range c.inServiceBank {
+		c.inServiceBank[i] = make([]int16, cfg.Geometry.Channels*cfg.Geometry.BanksPerChannel)
+	}
+	for i := 0; i < cfg.Geometry.Channels; i++ {
+		c.channels = append(c.channels, dram.NewChannel(cfg.Geometry.BanksPerChannel, cfg.Timing))
+		c.reserved = append(c.reserved, make([]*Request, cfg.Geometry.BanksPerChannel))
+	}
+	return c, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// SetPolicy installs the scheduling policy. It must be called before
+// the first Tick when the controller was constructed without one.
+func (c *Controller) SetPolicy(p Policy) { c.policy = p }
+
+// Policy returns the installed scheduling policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Channel returns the DRAM channel with the given index (for
+// inspection by tests and policies).
+func (c *Controller) Channel(i int) *dram.Channel { return c.channels[i] }
+
+// ThreadStats returns a copy of the per-thread service statistics.
+func (c *Controller) ThreadStats(thread int) ThreadStats { return c.threadStats[thread] }
+
+// QueuedReads returns the number of read requests waiting in the
+// request buffer (column access not yet issued).
+func (c *Controller) QueuedReads() int { return c.queuedReads }
+
+// QueuedWrites returns the number of buffered writebacks.
+func (c *Controller) QueuedWrites() int { return c.queuedWrites }
+
+// CanAcceptRead reports whether the read request buffer has space.
+func (c *Controller) CanAcceptRead() bool { return c.queuedReads < c.cfg.ReadBufferCap }
+
+// CanAcceptWrite reports whether the write buffer has space.
+func (c *Controller) CanAcceptWrite() bool { return c.queuedWrites < c.cfg.WriteBufferCap }
+
+// EnqueueRead adds a demand read for lineAddr from the given thread.
+// onComplete (may be nil) fires when the full round trip finishes. It
+// returns false, without side effects, if the request buffer is full.
+func (c *Controller) EnqueueRead(now int64, thread int, lineAddr uint64, onComplete func(now int64)) bool {
+	if !c.CanAcceptRead() {
+		return false
+	}
+	r := c.newRequest(now, thread, lineAddr, false)
+	r.OnComplete = onComplete
+	c.reads[r.Loc.Channel] = append(c.reads[r.Loc.Channel], r)
+	c.queuedReads++
+	c.queuedPerThr[thread]++
+	return true
+}
+
+// EnqueueWrite buffers a writeback of lineAddr on behalf of thread. It
+// returns false if the write buffer is full.
+func (c *Controller) EnqueueWrite(now int64, thread int, lineAddr uint64) bool {
+	if !c.CanAcceptWrite() {
+		return false
+	}
+	r := c.newRequest(now, thread, lineAddr, true)
+	c.writes[r.Loc.Channel] = append(c.writes[r.Loc.Channel], r)
+	c.queuedWrites++
+	return true
+}
+
+func (c *Controller) newRequest(now int64, thread int, lineAddr uint64, isWrite bool) *Request {
+	c.nextID++
+	return &Request{
+		ID:       c.nextID,
+		Thread:   thread,
+		LineAddr: lineAddr,
+		Loc:      c.cfg.Geometry.Map(lineAddr),
+		IsWrite:  isWrite,
+		Arrival:  now,
+	}
+}
+
+// Tick advances the controller to CPU cycle now. The controller acts
+// only on DRAM command-clock edges (every CPUCyclesPerDRAMCycle CPU
+// cycles); calling it every CPU cycle is fine and cheap.
+func (c *Controller) Tick(now int64) {
+	if now%c.cfg.Timing.CPUCyclesPerDRAMCycle != 0 {
+		return
+	}
+	c.completeFinished(now)
+	c.policy.BeginCycle(now)
+	for ch := range c.channels {
+		c.channels[ch].MaybeRefresh(now)
+		c.scheduleChannel(ch, now)
+	}
+}
+
+func (c *Controller) completeFinished(now int64) {
+	for i := 0; i < len(c.inFlight); {
+		r := c.inFlight[i]
+		if r.CompleteAt > now {
+			i++
+			continue
+		}
+		// Swap-remove.
+		c.inFlight[i] = c.inFlight[len(c.inFlight)-1]
+		c.inFlight = c.inFlight[:len(c.inFlight)-1]
+		if !r.IsWrite {
+			c.bankServiceDec(r)
+			st := &c.threadStats[r.Thread]
+			st.ReadsServiced++
+			st.TotalReadLatency += r.CompleteAt - r.Arrival
+			st.ReadLatency.Record(r.CompleteAt - r.Arrival)
+		} else {
+			c.threadStats[r.Thread].WritesServiced++
+		}
+		if r.OnComplete != nil {
+			r.OnComplete(r.CompleteAt)
+		}
+	}
+}
+
+// scheduleChannel implements the paper's two-level scheduler
+// (Section 2.3): each per-bank scheduler selects the highest-priority
+// *request* among the requests waiting for its bank (whether or not
+// that request's next DRAM command is ready this cycle — a bank does
+// not fall through to a lower-priority request just because the
+// winner's command must wait a few cycles), and the across-bank channel
+// scheduler then picks the highest-priority ready command among the
+// per-bank winners.
+func (c *Controller) scheduleChannel(ch int, now int64) {
+	cands := c.scratch[:0]
+	channel := c.channels[ch]
+
+	for _, r := range c.reads[ch] {
+		cmd := channel.NextCommand(r.Loc.Bank, r.Loc.Row, false)
+		cands = append(cands, Candidate{
+			Req: r, Cmd: cmd, Outcome: outcomeFor(cmd.Kind), Channel: ch,
+			First: !r.Started, Ready: channel.CanIssue(cmd, now),
+		})
+	}
+
+	// Write-drain policy: writes become eligible (and preferred) when
+	// the buffer passes the high watermark, with hysteresis down to
+	// the low watermark; they are also eligible opportunistically when
+	// the channel has no waiting reads.
+	if c.queuedWrites >= c.cfg.WriteDrainHigh {
+		c.draining[ch] = true
+	} else if c.queuedWrites <= c.cfg.WriteDrainLow {
+		c.draining[ch] = false
+	}
+	draining := c.draining[ch]
+	if c.draining[ch] || len(c.reads[ch]) == 0 {
+		for _, r := range c.writes[ch] {
+			cmd := channel.NextCommand(r.Loc.Bank, r.Loc.Row, true)
+			cands = append(cands, Candidate{
+				Req: r, Cmd: cmd, Outcome: outcomeFor(cmd.Kind), Channel: ch,
+				First: !r.Started, Ready: channel.CanIssue(cmd, now),
+			})
+		}
+	}
+	c.scratch = cands[:0]
+	if len(cands) == 0 {
+		return
+	}
+	if bp, ok := c.policy.(BatchPolicy); ok {
+		bp.PrepareCycle(ch, now, cands)
+	}
+
+	// Level 1: per-bank request arbitration. A bank whose open row
+	// was activated for a request that has not yet used it stays with
+	// that request.
+	if cap(c.bankBest) < channel.NumBanks() {
+		c.bankBest = make([]*Candidate, channel.NumBanks())
+	}
+	bankBest := c.bankBest[:channel.NumBanks()]
+	for i := range bankBest {
+		bankBest[i] = nil
+	}
+	var lockedBanks uint64
+	for i := range cands {
+		cand := &cands[i]
+		b := cand.Cmd.Bank
+		if c.reserved[ch][b] == cand.Req {
+			bankBest[b] = cand
+			lockedBanks |= 1 << uint(b)
+			continue
+		}
+		if lockedBanks&(1<<uint(b)) != 0 {
+			continue
+		}
+		if bankBest[b] == nil || c.better(cand, bankBest[b], draining) {
+			bankBest[b] = cand
+		}
+	}
+
+	// Level 2: across-bank selection among ready winners.
+	var best *Candidate
+	for _, cand := range bankBest {
+		if cand == nil || !cand.Ready {
+			continue
+		}
+		if best == nil || c.better(cand, best, draining) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return
+	}
+	c.issue(ch, now, best, cands)
+}
+
+// better implements the read-over-write rule of Table 2 ("reads
+// prioritized over writes") around the pluggable policy. During a
+// write-drain episode (buffer past the high watermark, with hysteresis
+// down to the low watermark) the preference inverts so buffered writes
+// flush in a batch instead of starving behind a steady read stream.
+func (c *Controller) better(a, b *Candidate, draining bool) bool {
+	if a.Req.IsWrite != b.Req.IsWrite {
+		if draining {
+			return a.Req.IsWrite
+		}
+		return !a.Req.IsWrite
+	}
+	return c.policy.Less(a, b)
+}
+
+func (c *Controller) issue(ch int, now int64, chosen *Candidate, cands []Candidate) {
+	channel := c.channels[ch]
+	r := chosen.Req
+	if !r.Started {
+		r.Started = true
+		r.FirstScheduledOutcome = chosen.Outcome
+		channel.RecordOutcome(chosen.Outcome)
+		if !r.IsWrite {
+			c.bankServiceInc(r)
+			st := &c.threadStats[r.Thread]
+			switch chosen.Outcome {
+			case dram.RowHit:
+				st.RowHits++
+			case dram.RowClosed:
+				st.RowClosed++
+			default:
+				st.RowConflicts++
+			}
+		}
+	}
+	burstDone := channel.Issue(chosen.Cmd, now)
+	switch {
+	case chosen.Cmd.Kind == dram.CmdActivate:
+		c.reserved[ch][chosen.Cmd.Bank] = r
+	case chosen.Cmd.Kind.IsColumn() && c.reserved[ch][chosen.Cmd.Bank] == r:
+		c.reserved[ch][chosen.Cmd.Bank] = nil
+	}
+	if chosen.Cmd.Kind.IsColumn() {
+		r.CASIssued = true
+		r.CompleteAt = burstDone
+		if !r.IsWrite {
+			r.CompleteAt += c.cfg.Timing.RoundTripOverhead
+		}
+		c.removeQueued(ch, r)
+		c.inFlight = append(c.inFlight, r)
+	}
+	if c.CommandTrace != nil {
+		c.CommandTrace(now, ch, chosen.Cmd, r)
+	}
+	c.policy.OnSchedule(now, chosen, cands)
+}
+
+func (c *Controller) removeQueued(ch int, r *Request) {
+	q := c.reads[ch]
+	if r.IsWrite {
+		q = c.writes[ch]
+	}
+	for i, qr := range q {
+		if qr == r {
+			q[i] = q[len(q)-1]
+			q = q[:len(q)-1]
+			break
+		}
+	}
+	if r.IsWrite {
+		c.writes[ch] = q
+		c.queuedWrites--
+	} else {
+		c.reads[ch] = q
+		c.queuedReads--
+		c.queuedPerThr[r.Thread]--
+	}
+}
+
+func outcomeFor(kind dram.CommandKind) dram.RowBufferOutcome {
+	switch kind {
+	case dram.CmdPrecharge:
+		return dram.RowConflict
+	case dram.CmdActivate:
+		return dram.RowClosed
+	default:
+		return dram.RowHit
+	}
+}
+
+// --- View implementation (used by the STFM policy) ---
+
+// NumThreads implements View.
+func (c *Controller) NumThreads() int { return c.cfg.NumThreads }
+
+// HasQueued implements View.
+func (c *Controller) HasQueued(thread int) bool { return c.queuedPerThr[thread] > 0 }
+
+// InService implements View: the number of distinct banks currently
+// servicing the thread's reads (BankAccessParallelism).
+func (c *Controller) InService(thread int) int { return c.inServiceBanks[thread] }
+
+func (c *Controller) bankServiceInc(r *Request) {
+	idx := r.Loc.Channel*c.cfg.Geometry.BanksPerChannel + r.Loc.Bank
+	if c.inServiceBank[r.Thread][idx] == 0 {
+		c.inServiceBanks[r.Thread]++
+	}
+	c.inServiceBank[r.Thread][idx]++
+}
+
+func (c *Controller) bankServiceDec(r *Request) {
+	idx := r.Loc.Channel*c.cfg.Geometry.BanksPerChannel + r.Loc.Bank
+	c.inServiceBank[r.Thread][idx]--
+	if c.inServiceBank[r.Thread][idx] == 0 {
+		c.inServiceBanks[r.Thread]--
+	}
+}
+
+// QueuedRequests implements View.
+func (c *Controller) QueuedRequests(thread int) int { return c.queuedPerThr[thread] }
+
+// QueuedBanks implements View: the number of distinct banks for which
+// the thread has a waiting read request.
+func (c *Controller) QueuedBanks(thread int) int {
+	// A 64-bit mask per channel suffices for <=64 banks per channel.
+	count := 0
+	for ch := range c.reads {
+		var mask uint64
+		for _, r := range c.reads[ch] {
+			if r.Thread == thread {
+				mask |= 1 << uint(r.Loc.Bank)
+			}
+		}
+		for mask != 0 {
+			mask &= mask - 1
+			count++
+		}
+	}
+	return count
+}
+
+// Drain runs the controller forward (from CPU cycle start) until all
+// buffered requests complete, returning the cycle after the last
+// completion. It is a test/tool convenience, not used in simulation.
+func (c *Controller) Drain(start int64) int64 {
+	now := start
+	for c.queuedReads > 0 || c.queuedWrites > 0 || len(c.inFlight) > 0 {
+		c.Tick(now)
+		now++
+	}
+	return now
+}

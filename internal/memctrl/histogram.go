@@ -1,0 +1,72 @@
+package memctrl
+
+import "fmt"
+
+// latencyBuckets is the number of power-of-two histogram buckets;
+// bucket i holds latencies in [2^i, 2^(i+1)) CPU cycles, which spans
+// comfortably past any realistic queueing delay.
+const latencyBuckets = 24
+
+// LatencyHistogram accumulates read round-trip latencies in
+// power-of-two buckets — small enough to sit in per-thread hardware
+// counters, detailed enough for tail-latency analysis (the starvation
+// the paper's Figure 1 shows is a tail phenomenon).
+type LatencyHistogram struct {
+	buckets [latencyBuckets]int64
+	count   int64
+	max     int64
+}
+
+// Record adds one latency sample.
+func (h *LatencyHistogram) Record(latency int64) {
+	if latency < 0 {
+		latency = 0
+	}
+	b := 0
+	for v := latency; v > 1 && b < latencyBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+	h.count++
+	if latency > h.max {
+		h.max = latency
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHistogram) Count() int64 { return h.count }
+
+// Max returns the largest recorded latency.
+func (h *LatencyHistogram) Max() int64 { return h.max }
+
+// Percentile returns an upper bound on the p-quantile latency (p in
+// [0,1]), at power-of-two resolution. It returns 0 when empty.
+func (h *LatencyHistogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(p * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return (int64(1) << uint(i+1)) - 1
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *LatencyHistogram) String() string {
+	return fmt.Sprintf("n=%d p50<=%d p95<=%d p99<=%d max=%d",
+		h.count, h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99), h.max)
+}

@@ -1,0 +1,88 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h LatencyHistogram
+	if h.Count() != 0 || h.Percentile(0.5) != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h LatencyHistogram
+	// 90 fast samples, 10 slow ones.
+	for i := 0; i < 90; i++ {
+		h.Record(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(10_000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Percentile(0.50)
+	if p50 < 100 || p50 > 255 {
+		t.Errorf("p50 = %d, want the 100-cycle bucket (<=255)", p50)
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 10_000 {
+		t.Errorf("p99 = %d, must cover the slow tail", p99)
+	}
+	if h.Max() != 10_000 {
+		t.Errorf("max = %d", h.Max())
+	}
+}
+
+func TestHistogramBoundsProperty(t *testing.T) {
+	f := func(samples []uint32, p float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h LatencyHistogram
+		var max int64
+		for _, s := range samples {
+			v := int64(s % 1_000_000)
+			h.Record(v)
+			if v > max {
+				max = v
+			}
+		}
+		if p < 0 {
+			p = -p
+		}
+		if p > 1 || p != p { // clamp huge and NaN inputs
+			p = math.Mod(p, 1)
+			if p != p {
+				p = 0.5
+			}
+		}
+		q := h.Percentile(p)
+		// The percentile bound never exceeds twice the max sample
+		// (power-of-two bucket resolution) and is monotone in p.
+		return q <= 2*max+1 && h.Percentile(1) >= h.Percentile(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h LatencyHistogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Percentile(0.5) > 1 {
+		t.Error("negative sample should clamp to the zero bucket")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h LatencyHistogram
+	h.Record(100)
+	if h.String() == "" {
+		t.Error("String must render")
+	}
+}

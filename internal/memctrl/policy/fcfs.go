@@ -1,0 +1,28 @@
+package policy
+
+import "stfm/internal/memctrl"
+
+// FCFS is plain first-come-first-serve over ready DRAM commands,
+// disregarding row-buffer state (Section 4). It removes the
+// column-first unfairness of FR-FCFS but still implicitly prioritizes
+// memory-intensive threads, and sacrifices row-buffer locality, hence
+// DRAM throughput.
+type FCFS struct{}
+
+// NewFCFS returns the FCFS policy.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements memctrl.Policy.
+func (*FCFS) Name() string { return "FCFS" }
+
+// BeginCycle implements memctrl.Policy.
+func (*FCFS) BeginCycle(int64) {}
+
+// Less implements memctrl.Policy: strictly oldest-first among ready
+// commands.
+func (*FCFS) Less(a, b *memctrl.Candidate) bool { return a.Req.Older(b.Req) }
+
+// OnSchedule implements memctrl.Policy.
+func (*FCFS) OnSchedule(int64, *memctrl.Candidate, []memctrl.Candidate) {}
+
+var _ memctrl.Policy = (*FCFS)(nil)

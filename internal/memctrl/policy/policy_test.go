@@ -1,0 +1,231 @@
+package policy
+
+import (
+	"testing"
+
+	"stfm/internal/dram"
+	"stfm/internal/memctrl"
+)
+
+// cand builds a candidate with the given shape.
+func cand(id uint64, thread int, kind dram.CommandKind, bank int, arrival int64) memctrl.Candidate {
+	return memctrl.Candidate{
+		Req:     &memctrl.Request{ID: id, Thread: thread, Arrival: arrival},
+		Cmd:     dram.Command{Kind: kind, Bank: bank},
+		Channel: 0,
+		Ready:   true,
+	}
+}
+
+func TestFRFCFSOrdering(t *testing.T) {
+	p := NewFRFCFS()
+	colYoung := cand(10, 0, dram.CmdRead, 0, 100)
+	rowOld := cand(1, 1, dram.CmdPrecharge, 0, 0)
+	if !p.Less(&colYoung, &rowOld) {
+		t.Error("FR-FCFS must prefer a younger column access over an older row access")
+	}
+	colOld := cand(2, 1, dram.CmdWrite, 1, 5)
+	if !p.Less(&colOld, &colYoung) {
+		t.Error("among column accesses, older first")
+	}
+	rowYoung := cand(3, 0, dram.CmdActivate, 2, 7)
+	if p.Less(&rowYoung, &rowOld) || !p.Less(&rowOld, &rowYoung) {
+		t.Error("among row accesses, older first")
+	}
+}
+
+func TestFCFSIgnoresRowState(t *testing.T) {
+	p := NewFCFS()
+	colYoung := cand(10, 0, dram.CmdRead, 0, 100)
+	rowOld := cand(1, 1, dram.CmdPrecharge, 0, 0)
+	if p.Less(&colYoung, &rowOld) {
+		t.Error("FCFS must not prefer the younger column access")
+	}
+	if !p.Less(&rowOld, &colYoung) {
+		t.Error("FCFS must prefer the older request")
+	}
+}
+
+func TestCapDegradesToFCFS(t *testing.T) {
+	p := NewFRFCFSCap(2, 1, 8)
+	if p.Name() != "FRFCFS+Cap" {
+		t.Errorf("name = %q", p.Name())
+	}
+	old := cand(1, 0, dram.CmdPrecharge, 3, 0) // older row access, bank 3
+	ready := []memctrl.Candidate{old}
+
+	// Below the cap, younger column accesses win.
+	for i := uint64(0); i < 2; i++ {
+		young := cand(10+i, 1, dram.CmdRead, 3, 100)
+		if !p.Less(&young, &old) {
+			t.Fatalf("bypass %d should still be allowed", i)
+		}
+		p.OnSchedule(0, &young, append(ready, young))
+	}
+	// Cap reached: FCFS applies in bank 3 — the old row access wins.
+	young := cand(20, 1, dram.CmdRead, 3, 100)
+	if p.Less(&young, &old) {
+		t.Error("column access must lose after the cap is reached")
+	}
+	// Other banks are unaffected.
+	youngOther := cand(21, 1, dram.CmdRead, 4, 100)
+	oldOther := cand(2, 0, dram.CmdActivate, 4, 0)
+	if !p.Less(&youngOther, &oldOther) {
+		t.Error("cap in bank 3 must not affect bank 4")
+	}
+	// Servicing a row access resets the bank's budget.
+	p.OnSchedule(0, &old, ready)
+	young2 := cand(22, 1, dram.CmdRead, 3, 100)
+	if !p.Less(&young2, &old) {
+		t.Error("budget should reset after a row access is serviced")
+	}
+}
+
+func TestCapDefaultValue(t *testing.T) {
+	p := NewFRFCFSCap(0, 1, 8)
+	old := cand(1, 0, dram.CmdPrecharge, 0, 0)
+	for i := uint64(0); i < DefaultCap; i++ {
+		young := cand(10+i, 1, dram.CmdRead, 0, 50)
+		if !p.Less(&young, &old) {
+			t.Fatalf("bypass %d refused below default cap", i)
+		}
+		p.OnSchedule(0, &young, []memctrl.Candidate{old, young})
+	}
+	young := cand(30, 1, dram.CmdRead, 0, 50)
+	if p.Less(&young, &old) {
+		t.Error("default cap of 4 not enforced")
+	}
+}
+
+func TestNFQVirtualFinishTimeOrdering(t *testing.T) {
+	tm := dram.DefaultTiming()
+	p := NewNFQ(2, 1, 8, tm)
+	p.BeginCycle(0)
+
+	// Service several requests of thread 0 in bank 0: its VFT grows
+	// by latency x numThreads per request.
+	for i := uint64(0); i < 5; i++ {
+		c := cand(i+1, 0, dram.CmdRead, 0, int64(i)*10)
+		c.Req.FirstScheduledOutcome = dram.RowHit
+		p.OnSchedule(int64(i)*10, &c, nil)
+	}
+	// Thread 1 arrives late with a small arrival time vs thread 0's
+	// inflated VFT: thread 1 must win.
+	a := cand(100, 0, dram.CmdRead, 0, 500)
+	b := cand(101, 1, dram.CmdRead, 0, 500)
+	if p.Less(&a, &b) {
+		t.Error("thread with inflated VFT must lose to a fresh thread (idleness dynamics)")
+	}
+	if !p.Less(&b, &a) {
+		t.Error("fresh thread should win")
+	}
+}
+
+func TestNFQIdlenessProblem(t *testing.T) {
+	// The scenario of the paper's Figure 3: thread 0 runs alone for a
+	// long time (accruing virtual time at N x wall clock), thread 1
+	// wakes up and captures the bank.
+	tm := dram.DefaultTiming()
+	p := NewNFQ(2, 1, 8, tm)
+	now := int64(0)
+	for i := uint64(0); i < 50; i++ {
+		c := cand(i+1, 0, dram.CmdRead, 0, now)
+		c.Req.FirstScheduledOutcome = dram.RowHit
+		p.BeginCycle(now)
+		p.OnSchedule(now, &c, nil)
+		now += 100
+	}
+	// Thread 1's burst arrives at wall clock `now`.
+	burst := cand(1000, 1, dram.CmdRead, 0, now)
+	cont := cand(1001, 0, dram.CmdRead, 0, now)
+	p.BeginCycle(now)
+	if !p.Less(&burst, &cont) {
+		t.Error("bursty newcomer should be prioritized over the continuous thread — the idleness problem")
+	}
+}
+
+func TestNFQSharesScaleCharges(t *testing.T) {
+	tm := dram.DefaultTiming()
+	pEq := NewNFQ(2, 1, 8, tm)
+	pWt := NewNFQ(2, 1, 8, tm)
+	pWt.SetShares([]float64{1, 9}) // thread 1 gets 90% of bandwidth
+
+	for _, p := range []*NFQ{pEq, pWt} {
+		c := cand(1, 1, dram.CmdRead, 0, 0)
+		c.Req.FirstScheduledOutcome = dram.RowHit
+		p.BeginCycle(0)
+		p.OnSchedule(0, &c, nil)
+	}
+	// After one identical request, the weighted thread's VFT must be
+	// smaller (charged 1/0.9 instead of 1/0.5 of latency).
+	aEq := cand(2, 1, dram.CmdRead, 0, 0)
+	aWt := cand(3, 1, dram.CmdRead, 0, 0)
+	if pEq.virtualStart(&aEq) <= pWt.virtualStart(&aWt) {
+		t.Error("higher share should accrue virtual time more slowly")
+	}
+}
+
+func TestNFQSetSharesValidation(t *testing.T) {
+	p := NewNFQ(2, 1, 8, dram.DefaultTiming())
+	mustPanic(t, func() { p.SetShares([]float64{1}) })
+	mustPanic(t, func() { p.SetShares([]float64{1, 0}) })
+}
+
+func TestNFQPriorityInversionPrevention(t *testing.T) {
+	tm := dram.DefaultTiming()
+	p := NewNFQ(2, 1, 8, tm)
+	old := cand(1, 0, dram.CmdPrecharge, 0, 0)
+	young := cand(2, 1, dram.CmdRead, 0, 10)
+	young.Req.FirstScheduledOutcome = dram.RowHit
+
+	p.BeginCycle(0)
+	if !p.Less(&young, &old) {
+		t.Fatal("column access should win initially (first-ready)")
+	}
+	// Scheduling the young column access while the older row access
+	// waits starts the inversion timer.
+	p.OnSchedule(0, &young, []memctrl.Candidate{old, young})
+	p.BeginCycle(tm.RAS - 1)
+	if !p.Less(&young, &old) {
+		t.Error("inversion should still be allowed before tRAS")
+	}
+	p.BeginCycle(tm.RAS + 1)
+	if p.Less(&young, &old) {
+		t.Error("after tRAS of bypassing, the row access must win")
+	}
+	// Servicing the row access clears the timer.
+	p.OnSchedule(tm.RAS+1, &old, []memctrl.Candidate{old})
+	p.BeginCycle(tm.RAS + 2)
+	young2 := cand(3, 1, dram.CmdRead, 0, 10)
+	if !p.Less(&young2, &old) {
+		t.Error("timer should reset after the row access is serviced")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	tm := dram.DefaultTiming()
+	for _, tc := range []struct {
+		p    memctrl.Policy
+		want string
+	}{
+		{NewFRFCFS(), "FR-FCFS"},
+		{NewFCFS(), "FCFS"},
+		{NewFRFCFSCap(4, 1, 8), "FRFCFS+Cap"},
+		{NewNFQ(2, 1, 8, tm), "NFQ"},
+	} {
+		if got := tc.p.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+		tc.p.BeginCycle(0) // must not panic
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,55 @@
+// Package memctrl implements the DRAM memory controller of the paper's
+// Section 2.2–2.3: a request buffer, a write buffer, per-bank command
+// selection and an across-bank channel scheduler, with the
+// prioritization policy factored out behind the Policy interface so
+// that FR-FCFS, FCFS, FR-FCFS+Cap, NFQ and STFM plug in unchanged.
+package memctrl
+
+import "stfm/internal/dram"
+
+// Request is one outstanding memory request (a cache-line read fill or
+// a writeback) held in the controller's request buffer. Each entry
+// carries the ID of the thread that generated it (the paper's Table 1
+// per-request Thread-ID register).
+type Request struct {
+	// ID is a unique, monotonically increasing identifier; it doubles
+	// as a total arrival order for FCFS tie-breaking.
+	ID uint64
+	// Thread is the hardware thread (core) that generated the request.
+	Thread int
+	// LineAddr is the physical cache-line address (byte address /
+	// line size).
+	LineAddr uint64
+	// Loc is the DRAM coordinate of the line.
+	Loc dram.Location
+	// IsWrite marks DRAM writes (cache writebacks). Reads are demand
+	// fills that a core may be stalled on.
+	IsWrite bool
+	// Arrival is the CPU cycle the request entered the controller.
+	Arrival int64
+	// OnComplete, if non-nil, is invoked once when the request's data
+	// transfer (and round trip, for reads) finishes.
+	OnComplete func(now int64)
+
+	// Started is set when the first DRAM command for this request is
+	// issued; the request then occupies a bank (it counts toward the
+	// thread's BankAccessParallelism).
+	Started bool
+	// CASIssued is set once the column access has been issued; the
+	// request is then in its data burst and no longer schedulable.
+	CASIssued bool
+	// FirstScheduledOutcome records the row-buffer classification the
+	// request had when its first command was scheduled.
+	FirstScheduledOutcome dram.RowBufferOutcome
+	// CompleteAt is the absolute cycle the request finishes (valid
+	// once CASIssued).
+	CompleteAt int64
+}
+
+// Age returns how long the request has been in the buffer at cycle now.
+func (r *Request) Age(now int64) int64 { return now - r.Arrival }
+
+// Older reports whether r arrived before other (FCFS order). IDs are
+// allocated in arrival order, so they break same-cycle ties
+// deterministically.
+func (r *Request) Older(other *Request) bool { return r.ID < other.ID }

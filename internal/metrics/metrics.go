@@ -1,0 +1,139 @@
+// Package metrics implements the paper's fairness and throughput
+// metrics (Section 6.2): memory slowdown, the unfairness index,
+// weighted speedup, hmean speedup, and sum-of-IPCs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// minMCPI floors MCPI values so that benchmarks with near-zero memory
+// stall time produce finite slowdowns instead of divide-by-zero
+// artifacts. The experiment harness additionally sizes measurement
+// windows so every thread observes enough misses for a stable MCPI
+// (sim.Config.MinMisses); the floor is a final safety net two orders
+// of magnitude below the sparsest benchmark's paper MCPI.
+const minMCPI = 1e-4
+
+// MemSlowdown returns a thread's memory slowdown: its memory stall
+// time per instruction running shared, divided by its stall time per
+// instruction running alone in the same memory system.
+func MemSlowdown(sharedMCPI, aloneMCPI float64) float64 {
+	if aloneMCPI < minMCPI {
+		aloneMCPI = minMCPI
+	}
+	if sharedMCPI < minMCPI {
+		sharedMCPI = minMCPI
+	}
+	return sharedMCPI / aloneMCPI
+}
+
+// MemSlowdowns applies MemSlowdown element-wise. It panics on length
+// mismatch (a programming error in the experiment harness).
+func MemSlowdowns(shared, alone []float64) []float64 {
+	if len(shared) != len(alone) {
+		panic(fmt.Sprintf("metrics: %d shared vs %d alone MCPI values", len(shared), len(alone)))
+	}
+	out := make([]float64, len(shared))
+	for i := range shared {
+		out[i] = MemSlowdown(shared[i], alone[i])
+	}
+	return out
+}
+
+// Unfairness returns the paper's unfairness index: the ratio of the
+// maximum to the minimum memory slowdown in the workload. A
+// perfectly-fair system scores 1.
+func Unfairness(slowdowns []float64) float64 {
+	if len(slowdowns) == 0 {
+		return 1
+	}
+	min, max := math.Inf(1), 0.0
+	for _, s := range slowdowns {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min <= 0 {
+		return math.Inf(1)
+	}
+	return max / min
+}
+
+// WeightedSpeedup returns Σ IPC_shared/IPC_alone, the system
+// throughput metric of [Snavely & Tullsen].
+func WeightedSpeedup(sharedIPC, aloneIPC []float64) float64 {
+	checkLen(sharedIPC, aloneIPC)
+	var sum float64
+	for i := range sharedIPC {
+		if aloneIPC[i] > 0 {
+			sum += sharedIPC[i] / aloneIPC[i]
+		}
+	}
+	return sum
+}
+
+// HmeanSpeedup returns NumThreads / Σ (IPC_alone/IPC_shared), the
+// balanced fairness-throughput metric of [Luo et al.].
+func HmeanSpeedup(sharedIPC, aloneIPC []float64) float64 {
+	checkLen(sharedIPC, aloneIPC)
+	var sum float64
+	for i := range sharedIPC {
+		if sharedIPC[i] <= 0 {
+			return 0
+		}
+		sum += aloneIPC[i] / sharedIPC[i]
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(len(sharedIPC)) / sum
+}
+
+// SumIPC returns Σ IPC_shared. The paper reports it only as a caution:
+// it rewards unfairly speeding up non-memory-intensive threads and
+// must not be read as system throughput.
+func SumIPC(sharedIPC []float64) float64 {
+	var sum float64
+	for _, v := range sharedIPC {
+		sum += v
+	}
+	return sum
+}
+
+// GeoMean returns the geometric mean of positive values, the averaging
+// the paper uses across workloads; non-positive inputs are skipped.
+func GeoMean(vals []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// UnfairnessReduction returns the percentage reduction in unfairness
+// relative to 1, the paper's convention (footnote 17): unfairness
+// cannot go below 1, so improvements are measured against that floor.
+func UnfairnessReduction(from, to float64) float64 {
+	if from <= 1 {
+		return 0
+	}
+	return (from - to) / (from - 1) * 100
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: mismatched lengths %d and %d", len(a), len(b)))
+	}
+}

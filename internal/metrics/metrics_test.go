@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemSlowdown(t *testing.T) {
+	if got := MemSlowdown(2.0, 1.0); got != 2 {
+		t.Errorf("MemSlowdown(2,1) = %v", got)
+	}
+	// Near-zero alone MCPI must not explode.
+	if got := MemSlowdown(1.0, 0); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("zero alone MCPI produced %v", got)
+	}
+	// Zero shared MCPI with zero alone MCPI is a unit slowdown.
+	if got := MemSlowdown(0, 0); got != 1 {
+		t.Errorf("MemSlowdown(0,0) = %v, want 1", got)
+	}
+}
+
+func TestMemSlowdownsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	MemSlowdowns([]float64{1}, []float64{1, 2})
+}
+
+func TestUnfairness(t *testing.T) {
+	if got := Unfairness([]float64{2, 4, 3}); got != 2 {
+		t.Errorf("Unfairness = %v, want 2", got)
+	}
+	if got := Unfairness(nil); got != 1 {
+		t.Errorf("empty unfairness = %v, want 1", got)
+	}
+	if got := Unfairness([]float64{1.5}); got != 1 {
+		t.Errorf("single-thread unfairness = %v, want 1", got)
+	}
+	if got := Unfairness([]float64{0, 1}); !math.IsInf(got, 1) {
+		t.Errorf("zero slowdown should give +Inf, got %v", got)
+	}
+}
+
+// TestUnfairnessProperties: unfairness >= 1 for positive inputs and is
+// scale-invariant.
+func TestUnfairnessProperties(t *testing.T) {
+	f := func(raw []float64, scale float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scale = 0.1 + math.Mod(math.Abs(scale), 10)
+		vals := make([]float64, 0, len(raw))
+		scaled := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			v = 1 + math.Mod(math.Abs(v), 20)
+			vals = append(vals, v)
+			scaled = append(scaled, v*scale)
+		}
+		u := Unfairness(vals)
+		us := Unfairness(scaled)
+		return u >= 1 && math.Abs(u-us) < 1e-9*u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	shared := []float64{0.5, 1.0}
+	alone := []float64{1.0, 2.0}
+	if got := WeightedSpeedup(shared, alone); got != 1.0 {
+		t.Errorf("WeightedSpeedup = %v, want 1.0", got)
+	}
+	// N identical threads at no slowdown score N.
+	if got := WeightedSpeedup([]float64{1, 1, 1}, []float64{1, 1, 1}); got != 3 {
+		t.Errorf("ideal weighted speedup = %v, want 3", got)
+	}
+}
+
+func TestHmeanSpeedup(t *testing.T) {
+	if got := HmeanSpeedup([]float64{1, 1}, []float64{1, 1}); got != 1 {
+		t.Errorf("ideal hmean = %v, want 1", got)
+	}
+	if got := HmeanSpeedup([]float64{0.5, 0.5}, []float64{1, 1}); got != 0.5 {
+		t.Errorf("hmean = %v, want 0.5", got)
+	}
+	if got := HmeanSpeedup([]float64{0, 1}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero IPC hmean = %v, want 0", got)
+	}
+	// The hmean punishes imbalance harder than the arithmetic mean.
+	balanced := HmeanSpeedup([]float64{0.5, 0.5}, []float64{1, 1})
+	skewed := HmeanSpeedup([]float64{0.9, 0.1}, []float64{1, 1})
+	if skewed >= balanced {
+		t.Errorf("hmean must punish imbalance: skewed %v >= balanced %v", skewed, balanced)
+	}
+}
+
+func TestSumIPC(t *testing.T) {
+	if got := SumIPC([]float64{0.5, 1.5, 1.0}); got != 3.0 {
+		t.Errorf("SumIPC = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{5, 5, 5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("GeoMean of equal values = %v, want 5", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("empty GeoMean = %v, want 0", got)
+	}
+	// Non-positive values are skipped, not fatal.
+	if got := GeoMean([]float64{0, -1, 4}); got != 4 {
+		t.Errorf("GeoMean skipping non-positives = %v, want 4", got)
+	}
+}
+
+func TestUnfairnessReduction(t *testing.T) {
+	// The paper's footnote 17: reduction is relative to the floor of 1.
+	// 2.02 -> 1.24 is a 76% reduction.
+	got := UnfairnessReduction(2.02, 1.24)
+	if math.Abs(got-76.47) > 0.5 {
+		t.Errorf("reduction = %v, want ~76%%", got)
+	}
+	if UnfairnessReduction(1.0, 1.0) != 0 {
+		t.Error("no reduction possible from perfect fairness")
+	}
+}
+
+func TestCheckLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched metric inputs must panic")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"stfm/internal/trace"
+)
+
+// TestCalibrationTable3 runs every benchmark profile alone in the
+// 1-channel memory system (the paper's Table 3 methodology) and checks
+// the synthetic generator reproduces the paper's measured memory
+// personality: row-buffer hit rate tightly, MCPI loosely (the paper's
+// MCPI comes from real SPEC microarchitecture interactions; we require
+// the same order and rough magnitude so that slowdown denominators and
+// intensity ordering are faithful).
+func TestCalibrationTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is not short")
+	}
+	for _, p := range append(trace.SPEC2006(), trace.Desktop()...) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			cfg := DefaultConfig(PolicyFRFCFS, 1)
+			cfg.Channels = 1
+			cfg.InstrTarget = calInstrTarget(p)
+			res, err := Run(cfg, []trace.Profile{p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := res.Threads[0]
+			mpki := float64(th.DRAMReads) / float64(th.Instructions) * 1000
+			t.Logf("MCPI %.2f (paper %.2f) | MPKI %.1f (paper %.1f) | RBhit %.3f (paper %.3f) | IPC %.3f",
+				th.MCPI, p.PaperMCPI, mpki, p.MPKI, th.RowHitRate, p.RowHit, th.IPC)
+			if th.Truncated {
+				t.Fatalf("%s truncated", p.Name)
+			}
+			if relErr(mpki, p.MPKI) > 0.15 {
+				t.Errorf("MPKI %.2f deviates >15%% from target %.2f", mpki, p.MPKI)
+			}
+			if math.Abs(th.RowHitRate-p.RowHit) > 0.12 {
+				t.Errorf("row-hit rate %.3f deviates >0.12 from target %.3f", th.RowHitRate, p.RowHit)
+			}
+			// Streaming benchmarks are modeled with independent misses
+			// so that FR-FCFS sees their queued row-hit streaks — the
+			// behaviour every case study hinges on. That makes their
+			// alone-run MCPI lower than the paper's measurement (see
+			// EXPERIMENTS.md), so the MCPI check applies only to
+			// non-streaming profiles.
+			if !p.Streaming && p.PaperMCPI >= 0.5 && relErr(th.MCPI, p.PaperMCPI) > 0.5 {
+				t.Errorf("MCPI %.2f deviates >50%% from paper %.2f", th.MCPI, p.PaperMCPI)
+			}
+		})
+	}
+}
+
+// calInstrTarget gives sparse-miss benchmarks enough instructions for
+// stable statistics without inflating intensive runs.
+func calInstrTarget(p trace.Profile) int64 {
+	switch {
+	case p.MPKI < 0.5:
+		return 3_000_000
+	case p.MPKI < 5:
+		return 1_000_000
+	default:
+		return 300_000
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return math.Abs(got-want) / want
+}

@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"stfm/internal/dram"
+	"stfm/internal/memctrl"
+	"stfm/internal/memctrl/policy"
+)
+
+// Thin constructors keeping policy wiring details out of NewSystem.
+
+func newFRFCFS() memctrl.Policy { return policy.NewFRFCFS() }
+
+func newFCFS() memctrl.Policy { return policy.NewFCFS() }
+
+func newCap(cap int, geom dram.Geometry) memctrl.Policy {
+	return policy.NewFRFCFSCap(cap, geom.Channels, geom.BanksPerChannel)
+}
+
+func newNFQ(threads int, geom dram.Geometry, timing dram.Timing, weights []float64) (memctrl.Policy, error) {
+	p := policy.NewNFQ(threads, geom.Channels, geom.BanksPerChannel, timing)
+	if weights != nil {
+		p.SetShares(weights)
+	}
+	return p, nil
+}
+
+func newPARBS(threads int, geom dram.Geometry, cap int) memctrl.Policy {
+	return policy.NewPARBS(threads, geom.Channels, cap)
+}
+
+func newTCM(threads int) memctrl.Policy { return policy.NewTCM(threads) }

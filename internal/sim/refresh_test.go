@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"stfm/internal/dram"
+)
+
+// TestRefreshModeRuns checks the optional refresh model end to end:
+// the system runs to completion, refreshes actually happen, and
+// performance is (mildly) worse than without refresh.
+func TestRefreshModeRuns(t *testing.T) {
+	profs := profilesByName(t, "mcf", "libquantum")
+
+	base := DefaultConfig(PolicySTFM, 2)
+	base.InstrTarget = 40_000
+	noRef, err := Run(base, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tm := dram.DefaultTiming().WithRefresh()
+	withRef := base
+	withRef.Timing = &tm
+	refRes, err := Run(withRef, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range refRes.Threads {
+		if th.Truncated {
+			t.Fatalf("%s truncated with refresh enabled", th.Benchmark)
+		}
+	}
+	if refRes.TotalCycles <= noRef.TotalCycles {
+		t.Errorf("refresh should cost cycles: %d vs %d without", refRes.TotalCycles, noRef.TotalCycles)
+	}
+}

@@ -1,0 +1,459 @@
+// Package sim composes the substrates — trace generators, cores,
+// caches, the memory controller and the DRAM model — into the paper's
+// experimental platform: an N-core CMP with private L1/L2 caches and a
+// shared DRAM memory system, run under a selectable scheduling policy.
+//
+// The headline experiments drive the controller with generated L2 miss
+// streams ("direct mode", the default), matching how the paper's
+// workloads are characterized (Table 3's L2 MPKI / row-buffer hit
+// rate); cache mode runs the full hierarchy for address traces.
+package sim
+
+import (
+	"fmt"
+
+	"stfm/internal/cache"
+	"stfm/internal/core"
+	"stfm/internal/cpu"
+	"stfm/internal/dram"
+	"stfm/internal/memctrl"
+	"stfm/internal/trace"
+)
+
+// PolicyKind names one of the five evaluated schedulers.
+type PolicyKind string
+
+// The five scheduling policies the paper evaluates, plus PAR-BS (the
+// authors' ISCA 2008 follow-up, included as the natural future-work
+// extension; it is not part of the paper's comparisons).
+const (
+	PolicyFRFCFS    PolicyKind = "FR-FCFS"
+	PolicyFCFS      PolicyKind = "FCFS"
+	PolicyFRFCFSCap PolicyKind = "FRFCFS+Cap"
+	PolicyNFQ       PolicyKind = "NFQ"
+	PolicySTFM      PolicyKind = "STFM"
+	PolicyPARBS     PolicyKind = "PAR-BS"
+	PolicyTCM       PolicyKind = "TCM"
+)
+
+// AllPolicies lists the evaluated schedulers in the paper's plotting
+// order.
+func AllPolicies() []PolicyKind {
+	return []PolicyKind{PolicyFRFCFS, PolicyFCFS, PolicyFRFCFSCap, PolicyNFQ, PolicySTFM}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Policy selects the DRAM scheduler.
+	Policy PolicyKind
+	// Channels is the number of DRAM channels; 0 auto-scales with the
+	// core count as in the paper's Table 2 (1, 1, 2, 4 channels for
+	// up to 2, 4, 8, 16 cores).
+	Channels int
+	// Geometry, if non-nil, overrides the default DRAM organization
+	// (Table 5 sensitivity studies change banks and row-buffer size).
+	Geometry *dram.Geometry
+	// Timing, if non-nil, overrides the default DDR2-800 timing.
+	Timing *dram.Timing
+	// InstrTarget is the per-thread instruction budget over which
+	// statistics are collected. Threads that finish early keep
+	// running (regenerating their access pattern) so the memory
+	// system stays loaded until the slowest thread finishes, the
+	// standard multiprogrammed methodology.
+	InstrTarget int64
+	// MinMisses extends sparse threads' measurement windows so each
+	// observes at least roughly this many DRAM accesses: a thread's
+	// instruction target becomes max(InstrTarget, MinMisses/MPKI*1000).
+	// The paper's fixed 100M-instruction windows guarantee thousands
+	// of misses even for povray; without this floor, short runs give
+	// sparse benchmarks near-zero alone stall time and meaningless
+	// slowdown ratios. 0 disables the floor.
+	MinMisses int64
+	// MaxCycles caps the run; 0 derives a generous default. Threads
+	// still short of InstrTarget at the cap are reported truncated.
+	MaxCycles int64
+	// Seed drives all trace generators.
+	Seed uint64
+	// CoreCfg sizes the cores; zero value selects the paper's 3-wide,
+	// 128-entry-window configuration.
+	CoreCfg cpu.Config
+	// MSHRs bounds each core's outstanding L2 misses (64).
+	MSHRs int
+	// STFM configures the STFM policy (zero value = paper defaults).
+	STFM core.Config
+	// CapValue sets FR-FCFS+Cap's cap (0 = the paper's 4).
+	CapValue int
+	// NFQWeights, if non-nil, gives NFQ per-thread bandwidth shares
+	// proportional to these weights (Section 7.5).
+	NFQWeights []float64
+	// UseCaches runs the full L1/L2 hierarchy; traces are then
+	// interpreted as load/store addresses rather than miss streams.
+	UseCaches bool
+	// Streams, if non-nil, supplies each core's access stream directly
+	// (e.g. a trace.FileStream for externally captured traces),
+	// bypassing the synthetic generators. len(Streams) must equal the
+	// workload size; profiles are then used only for labeling and the
+	// MinMisses window scaling.
+	Streams []trace.Stream
+}
+
+// DefaultConfig returns a baseline configuration for the given policy
+// and core count.
+func DefaultConfig(policy PolicyKind, cores int) Config {
+	return Config{
+		Policy:      policy,
+		InstrTarget: 300_000,
+		CoreCfg:     cpu.DefaultConfig(),
+		MSHRs:       64,
+		STFM:        core.DefaultConfig(),
+		Seed:        1,
+	}
+}
+
+// ChannelsFor returns the paper's channel scaling for a core count.
+func ChannelsFor(cores int) int {
+	switch {
+	case cores <= 4:
+		return 1
+	case cores <= 8:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// ThreadResult holds one thread's measured performance, frozen when it
+// reached the instruction target.
+type ThreadResult struct {
+	Benchmark      string
+	Instructions   int64
+	Cycles         int64
+	MemStallCycles int64
+	// IPC is instructions per cycle over the measured window.
+	IPC float64
+	// MCPI is memory stall cycles per instruction — the numerator and
+	// denominator of the paper's slowdown metric come from shared and
+	// alone MCPI values.
+	MCPI           float64
+	DRAMReads      int64
+	DRAMWrites     int64
+	RowHitRate     float64
+	AvgReadLatency float64
+	// P95ReadLatency / P99ReadLatency bound the tail of the thread's
+	// read round trips (power-of-two bucket resolution); scheduling
+	// starvation appears here long before it moves the average.
+	P95ReadLatency int64
+	P99ReadLatency int64
+	// Truncated marks threads that hit MaxCycles before the
+	// instruction target.
+	Truncated bool
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Policy      PolicyKind
+	Threads     []ThreadResult
+	TotalCycles int64
+	// BusUtilization is the data-bus busy fraction across channels.
+	BusUtilization float64
+	// STFM diagnostics (zero unless the policy is STFM).
+	STFMUnfairness       float64
+	STFMFairnessFraction float64
+}
+
+// System is a fully wired CMP + DRAM simulation. Construct with
+// NewSystem, then either call Run or step it manually with Tick for
+// fine-grained inspection.
+type System struct {
+	cfg      Config
+	profiles []trace.Profile
+	targets  []int64
+	ctrl     *memctrl.Controller
+	cores    []*cpu.Core
+	hier     []*cache.Hierarchy
+	ports    []*directPort
+	stfm     *core.STFM
+	now      int64
+	frozen   []bool
+	results  []ThreadResult
+}
+
+// NewSystem wires up a simulation of the given workload: one core per
+// profile.
+func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
+	n := len(profiles)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: no workload profiles given")
+	}
+	if cfg.InstrTarget <= 0 {
+		cfg.InstrTarget = 300_000
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 64
+	}
+	if cfg.CoreCfg.Width == 0 {
+		cfg.CoreCfg = cpu.DefaultConfig()
+	}
+	channels := cfg.Channels
+	if channels == 0 {
+		channels = ChannelsFor(n)
+	}
+	mcfg := memctrl.DefaultConfig(n, channels)
+	if cfg.Geometry != nil {
+		g := *cfg.Geometry
+		g.Channels = channels
+		mcfg.Geometry = g
+	}
+	if cfg.Timing != nil {
+		mcfg.Timing = *cfg.Timing
+	}
+
+	s := &System{cfg: cfg, profiles: profiles}
+
+	ctrl, err := memctrl.NewController(mcfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.ctrl = ctrl
+
+	policy, err := s.buildPolicy(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	ctrl.SetPolicy(policy)
+
+	if cfg.Streams != nil && len(cfg.Streams) != n {
+		return nil, fmt.Errorf("sim: %d streams for %d cores", len(cfg.Streams), n)
+	}
+	for i, p := range profiles {
+		var stream trace.Stream
+		if cfg.Streams != nil {
+			stream = cfg.Streams[i]
+		} else {
+			gen, err := trace.NewGenerator(p, mcfg.Geometry, i, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			stream = gen
+		}
+		var mem cpu.Memory
+		if cfg.UseCaches {
+			h, err := cache.NewHierarchy(i, cache.L1Config(), cache.L2Config(), cfg.MSHRs, ctrl)
+			if err != nil {
+				return nil, err
+			}
+			s.hier = append(s.hier, h)
+			mem = h
+		} else {
+			port := &directPort{ctrl: ctrl, thread: i, mshrs: cfg.MSHRs}
+			s.ports = append(s.ports, port)
+			mem = port
+		}
+		s.cores = append(s.cores, cpu.New(i, cfg.CoreCfg, mem, stream))
+	}
+	s.frozen = make([]bool, n)
+	s.results = make([]ThreadResult, n)
+	s.targets = make([]int64, n)
+	for i, p := range profiles {
+		s.targets[i] = cfg.InstrTarget
+		if cfg.MinMisses > 0 {
+			if t := int64(float64(cfg.MinMisses) / p.MPKI * 1000); t > s.targets[i] {
+				s.targets[i] = t
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *System) buildPolicy(mcfg memctrl.Config) (memctrl.Policy, error) {
+	// The concrete policies live in memctrl/policy and internal/core;
+	// they are constructed here so callers select them by name.
+	switch s.cfg.Policy {
+	case PolicyFRFCFS, "":
+		return newFRFCFS(), nil
+	case PolicyFCFS:
+		return newFCFS(), nil
+	case PolicyFRFCFSCap:
+		return newCap(s.cfg.CapValue, mcfg.Geometry), nil
+	case PolicyNFQ:
+		return newNFQ(len(s.profiles), mcfg.Geometry, mcfg.Timing, s.cfg.NFQWeights)
+	case PolicyPARBS:
+		return newPARBS(len(s.profiles), mcfg.Geometry, s.cfg.CapValue), nil
+	case PolicyTCM:
+		return newTCM(len(s.profiles)), nil
+	case PolicySTFM:
+		stfmCfg := s.cfg.STFM
+		if stfmCfg.Alpha == 0 {
+			stfmCfg = core.DefaultConfig()
+		}
+		st, err := core.NewSTFM(stfmCfg, s.ctrl, mcfg.Geometry, mcfg.Timing, s.tshared)
+		if err != nil {
+			return nil, err
+		}
+		s.stfm = st
+		return st, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %q", s.cfg.Policy)
+	}
+}
+
+// tshared is the per-thread cumulative stall counter the cores
+// communicate to STFM (Section 5.1).
+func (s *System) tshared(thread int) int64 { return s.cores[thread].MemStallCycles() }
+
+// Controller exposes the memory controller for inspection.
+func (s *System) Controller() *memctrl.Controller { return s.ctrl }
+
+// Core exposes core i for inspection.
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// Hierarchy exposes core i's cache hierarchy (nil unless UseCaches).
+func (s *System) Hierarchy(i int) *cache.Hierarchy {
+	if s.hier == nil {
+		return nil
+	}
+	return s.hier[i]
+}
+
+// STFM returns the STFM policy instance, or nil for other policies.
+func (s *System) STFM() *core.STFM { return s.stfm }
+
+// Now returns the current CPU cycle.
+func (s *System) Now() int64 { return s.now }
+
+// Tick advances the whole system one CPU cycle.
+func (s *System) Tick() {
+	now := s.now
+	s.ctrl.Tick(now)
+	for _, h := range s.hier {
+		h.Tick(now)
+	}
+	for i, c := range s.cores {
+		c.Tick(now)
+		if !s.frozen[i] && (c.Committed() >= s.targets[i] || c.Done()) {
+			// Reaching the instruction target — or draining a finite
+			// trace — ends the thread's measurement window.
+			s.freeze(i, now+1, false)
+		}
+	}
+	s.now++
+}
+
+// freeze snapshots thread i's measured window.
+func (s *System) freeze(i int, now int64, truncated bool) {
+	c := s.cores[i]
+	st := s.ctrl.ThreadStats(i)
+	r := ThreadResult{
+		Benchmark:      s.profiles[i].Name,
+		Instructions:   c.Committed(),
+		Cycles:         now,
+		MemStallCycles: c.MemStallCycles(),
+		DRAMReads:      st.ReadsServiced,
+		DRAMWrites:     st.WritesServiced,
+		RowHitRate:     st.RowHitRate(),
+		AvgReadLatency: st.AvgReadLatency(),
+		P95ReadLatency: st.ReadLatency.Percentile(0.95),
+		P99ReadLatency: st.ReadLatency.Percentile(0.99),
+		Truncated:      truncated,
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	if r.Instructions > 0 {
+		r.MCPI = float64(r.MemStallCycles) / float64(r.Instructions)
+	}
+	s.results[i] = r
+	s.frozen[i] = true
+}
+
+// Run advances the system until every thread has reached the
+// instruction target (or MaxCycles elapse) and returns the results.
+func (s *System) Run() (*Result, error) {
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles <= 0 {
+		// CPI rarely exceeds ~40 even for the most stalled thread in
+		// a 16-core mix; 80x leaves comfortable slack.
+		longest := s.cfg.InstrTarget
+		for _, t := range s.targets {
+			if t > longest {
+				longest = t
+			}
+		}
+		maxCycles = longest * 80
+	}
+	for s.now < maxCycles && !s.allFrozen() {
+		s.Tick()
+	}
+	for i := range s.cores {
+		if !s.frozen[i] {
+			s.freeze(i, s.now, true)
+		}
+	}
+	res := &Result{
+		Policy:      s.cfg.Policy,
+		Threads:     append([]ThreadResult(nil), s.results...),
+		TotalCycles: s.now,
+	}
+	var busy, total int64
+	for i := 0; i < s.ctrl.Config().Geometry.Channels; i++ {
+		busy += s.ctrl.Channel(i).Stats().BusyCycles
+		total += s.now
+	}
+	if total > 0 {
+		res.BusUtilization = float64(busy) / float64(total)
+	}
+	if s.stfm != nil {
+		res.STFMUnfairness = s.stfm.Unfairness()
+		res.STFMFairnessFraction = s.stfm.FairnessModeFraction()
+	}
+	return res, nil
+}
+
+func (s *System) allFrozen() bool {
+	for _, f := range s.frozen {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// Run is the one-call entry point: build a system for the workload and
+// run it to completion.
+func Run(cfg Config, profiles []trace.Profile) (*Result, error) {
+	s, err := NewSystem(cfg, profiles)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// directPort adapts the memory controller as a core's Memory port for
+// miss-stream mode: every load is by construction an L2 miss.
+type directPort struct {
+	ctrl        *memctrl.Controller
+	thread      int
+	mshrs       int
+	outstanding int
+}
+
+// Load implements cpu.Memory.
+func (p *directPort) Load(now int64, lineAddr uint64, done func(int64)) (accepted, l2Miss bool) {
+	if p.outstanding >= p.mshrs {
+		return false, true
+	}
+	ok := p.ctrl.EnqueueRead(now, p.thread, lineAddr, func(at int64) {
+		p.outstanding--
+		done(at)
+	})
+	if !ok {
+		return false, true
+	}
+	p.outstanding++
+	return true, true
+}
+
+// Store implements cpu.Memory.
+func (p *directPort) Store(now int64, lineAddr uint64) bool {
+	return p.ctrl.EnqueueWrite(now, p.thread, lineAddr)
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"stfm/internal/trace"
+)
+
+func profilesByName(t *testing.T, names ...string) []trace.Profile {
+	t.Helper()
+	var out []trace.Profile
+	for _, n := range names {
+		p, err := trace.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestSmokeTwoCoreFRFCFS(t *testing.T) {
+	cfg := DefaultConfig(PolicyFRFCFS, 2)
+	cfg.InstrTarget = 50_000
+	res, err := Run(cfg, profilesByName(t, "mcf", "libquantum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range res.Threads {
+		t.Logf("%-12s instr=%d cycles=%d IPC=%.3f MCPI=%.3f reads=%d rbhit=%.3f lat=%.0f trunc=%v",
+			th.Benchmark, th.Instructions, th.Cycles, th.IPC, th.MCPI, th.DRAMReads, th.RowHitRate, th.AvgReadLatency, th.Truncated)
+		if th.Truncated {
+			t.Errorf("%s truncated", th.Benchmark)
+		}
+		if th.IPC <= 0 {
+			t.Errorf("%s has zero IPC", th.Benchmark)
+		}
+	}
+	t.Logf("total cycles=%d busUtil=%.3f", res.TotalCycles, res.BusUtilization)
+}
+
+func TestSmokeAloneRuns(t *testing.T) {
+	for _, name := range []string{"mcf", "libquantum", "dealII", "hmmer"} {
+		cfg := DefaultConfig(PolicyFRFCFS, 1)
+		cfg.Channels = 1
+		cfg.InstrTarget = 50_000
+		res, err := Run(cfg, profilesByName(t, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := res.Threads[0]
+		t.Logf("%-12s alone: IPC=%.3f MCPI=%.4f reads=%d rbhit=%.3f lat=%.0f",
+			th.Benchmark, th.IPC, th.MCPI, th.DRAMReads, th.RowHitRate, th.AvgReadLatency)
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+
+	"stfm/internal/dram"
+)
+
+// CacheWorkload parameterizes a cache-mode access stream: virtual
+// load/store addresses with controlled temporal locality, intended to
+// run through the full L1/L2 hierarchy (sim.Config.UseCaches) rather
+// than being interpreted as a miss stream.
+type CacheWorkload struct {
+	// Name labels the workload.
+	Name string
+	// HotLines is the size of the hot set in cache lines; accesses to
+	// it hit in L1/L2 once warm. Size it against the 512-line L1 /
+	// 8192-line L2 to choose which level backs the hot set.
+	HotLines int
+	// HotFraction is the probability an access targets the hot set.
+	HotFraction float64
+	// ColdLines is the cold footprint in lines; cold accesses stream
+	// through it sequentially and miss (capacity) once it exceeds L2.
+	ColdLines int
+	// StoreFraction is the probability an access is a store.
+	StoreFraction float64
+	// Gap is the mean compute-instruction gap between accesses.
+	Gap float64
+}
+
+// Validate reports an error for out-of-range parameters.
+func (w CacheWorkload) Validate() error {
+	switch {
+	case w.HotLines <= 0 || w.ColdLines <= 0:
+		return fmt.Errorf("trace: %s: HotLines and ColdLines must be positive", w.Name)
+	case w.HotFraction < 0 || w.HotFraction > 1:
+		return fmt.Errorf("trace: %s: HotFraction must be in [0,1]", w.Name)
+	case w.StoreFraction < 0 || w.StoreFraction > 1:
+		return fmt.Errorf("trace: %s: StoreFraction must be in [0,1]", w.Name)
+	case w.Gap < 0:
+		return fmt.Errorf("trace: %s: Gap must be non-negative", w.Name)
+	}
+	return nil
+}
+
+// CacheStream generates the workload's access stream. It implements
+// Stream and is infinite.
+type CacheStream struct {
+	w    CacheWorkload
+	rng  *Rand
+	base uint64
+	cold uint64
+}
+
+// NewCacheStream builds a stream for the workload. threadIdx offsets
+// the address space so co-running threads never share lines; seed
+// fixes the sequence.
+func NewCacheStream(w CacheWorkload, threadIdx int, seed uint64) (*CacheStream, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	geom := dram.DefaultGeometry(1)
+	span := uint64(geom.RowsPerBank) * uint64(geom.LinesPerRow()) // lines per bank set
+	return &CacheStream{
+		w:    w,
+		rng:  NewRand(seed ^ hashName(w.Name) ^ uint64(threadIdx+1)*0x9E3779B97F4A7C15),
+		base: uint64(threadIdx) * span,
+	}, nil
+}
+
+// Next implements Stream.
+func (s *CacheStream) Next() (Access, bool) {
+	var line uint64
+	if s.rng.Float64() < s.w.HotFraction {
+		line = s.base + uint64(s.rng.Intn(s.w.HotLines))
+	} else {
+		// Sequential cold streaming defeats LRU once the footprint
+		// exceeds the cache.
+		line = s.base + uint64(s.w.HotLines) + s.cold
+		s.cold = (s.cold + 1) % uint64(s.w.ColdLines)
+	}
+	kind := Load
+	if s.rng.Float64() < s.w.StoreFraction {
+		kind = Write // stores ride the non-blocking path
+	}
+	return Access{
+		Gap:      s.rng.Geometric(s.w.Gap),
+		LineAddr: line,
+		Kind:     kind,
+	}, true
+}

@@ -1,0 +1,72 @@
+package trace
+
+import "testing"
+
+func TestCacheWorkloadValidation(t *testing.T) {
+	good := CacheWorkload{Name: "w", HotLines: 64, HotFraction: 0.9, ColdLines: 10000, StoreFraction: 0.2, Gap: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*CacheWorkload){
+		func(w *CacheWorkload) { w.HotLines = 0 },
+		func(w *CacheWorkload) { w.ColdLines = 0 },
+		func(w *CacheWorkload) { w.HotFraction = 1.5 },
+		func(w *CacheWorkload) { w.StoreFraction = -0.1 },
+		func(w *CacheWorkload) { w.Gap = -1 },
+	}
+	for i, mutate := range bad {
+		w := good
+		mutate(&w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewCacheStream(CacheWorkload{}, 0, 1); err == nil {
+		t.Error("invalid workload must be rejected")
+	}
+}
+
+func TestCacheStreamLocality(t *testing.T) {
+	w := CacheWorkload{Name: "hot", HotLines: 64, HotFraction: 0.9, ColdLines: 100_000, StoreFraction: 0.25, Gap: 5}
+	s, err := NewCacheStream(w, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, stores := 0, 0
+	n := 50_000
+	for i := 0; i < n; i++ {
+		a, ok := s.Next()
+		if !ok {
+			t.Fatal("stream must be infinite")
+		}
+		if a.LineAddr < uint64(w.HotLines) {
+			hot++
+		}
+		if a.Kind == Write {
+			stores++
+		}
+	}
+	if f := float64(hot) / float64(n); f < 0.87 || f > 0.93 {
+		t.Errorf("hot fraction %.3f, want ~0.90", f)
+	}
+	if f := float64(stores) / float64(n); f < 0.22 || f > 0.28 {
+		t.Errorf("store fraction %.3f, want ~0.25", f)
+	}
+}
+
+func TestCacheStreamThreadDisjoint(t *testing.T) {
+	w := CacheWorkload{Name: "x", HotLines: 64, HotFraction: 0.5, ColdLines: 1000, Gap: 1}
+	a, _ := NewCacheStream(w, 0, 1)
+	b, _ := NewCacheStream(w, 1, 1)
+	seenA := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		acc, _ := a.Next()
+		seenA[acc.LineAddr] = true
+	}
+	for i := 0; i < 5000; i++ {
+		acc, _ := b.Next()
+		if seenA[acc.LineAddr] {
+			t.Fatal("threads share cache lines")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text trace format is one access per line:
+//
+//	<gap> <kind> <lineAddr> [chain [dep]]
+//
+// where gap is the compute-instruction count before the access, kind
+// is "L" (load) or "W" (writeback), lineAddr is the physical
+// cache-line address (decimal or 0x hex), chain is the dependence
+// chain id, and dep marks the load address-dependent on its chain
+// predecessor ("1"/"0"). Blank lines and lines starting with '#' are
+// ignored. The format lets users bring externally captured traces to
+// the simulator and lets generated workloads be archived and diffed.
+
+// WriteAccesses writes n accesses from s to w in the text format.
+func WriteAccesses(w io.Writer, s Stream, n int64) error {
+	bw := bufio.NewWriter(w)
+	for i := int64(0); i < n; i++ {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		kind := "L"
+		if a.Kind == Write {
+			kind = "W"
+		}
+		dep := 0
+		if a.Dep {
+			dep = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %d %d %d\n", a.Gap, kind, a.LineAddr, a.Chain, dep); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FileStream reads accesses from a text trace. It implements Stream;
+// Next returns ok=false at EOF. Parse errors surface through Err.
+type FileStream struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+// NewFileStream wraps a reader containing a text trace.
+func NewFileStream(r io.Reader) *FileStream {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &FileStream{sc: sc}
+}
+
+// Err returns the first parse or I/O error encountered, if any.
+func (f *FileStream) Err() error { return f.err }
+
+// Next implements Stream.
+func (f *FileStream) Next() (Access, bool) {
+	if f.err != nil {
+		return Access{}, false
+	}
+	for f.sc.Scan() {
+		f.line++
+		text := strings.TrimSpace(f.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		a, err := parseAccess(text)
+		if err != nil {
+			f.err = fmt.Errorf("trace: line %d: %w", f.line, err)
+			return Access{}, false
+		}
+		return a, true
+	}
+	if err := f.sc.Err(); err != nil {
+		f.err = err
+	}
+	return Access{}, false
+}
+
+func parseAccess(text string) (Access, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 3 {
+		return Access{}, fmt.Errorf("want at least 3 fields (gap kind addr), got %q", text)
+	}
+	gap, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || gap < 0 {
+		return Access{}, fmt.Errorf("bad gap %q", fields[0])
+	}
+	var kind Kind
+	switch fields[1] {
+	case "L", "l":
+		kind = Load
+	case "W", "w":
+		kind = Write
+	default:
+		return Access{}, fmt.Errorf("bad kind %q (want L or W)", fields[1])
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), base(fields[2]), 64)
+	if err != nil {
+		return Access{}, fmt.Errorf("bad address %q", fields[2])
+	}
+	a := Access{Gap: gap, Kind: kind, LineAddr: addr}
+	if len(fields) > 3 {
+		chain, err := strconv.Atoi(fields[3])
+		if err != nil || chain < 0 {
+			return Access{}, fmt.Errorf("bad chain %q", fields[3])
+		}
+		a.Chain = chain
+	}
+	if len(fields) > 4 {
+		switch fields[4] {
+		case "1":
+			a.Dep = true
+		case "0":
+		default:
+			return Access{}, fmt.Errorf("bad dep flag %q", fields[4])
+		}
+	}
+	return a, nil
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteThenReadRoundTrip(t *testing.T) {
+	g := mustGen(t, "mcf", 0)
+	var buf bytes.Buffer
+	if err := WriteAccesses(&buf, g, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Regenerate the same stream and compare with what the file gives.
+	ref := mustGen(t, "mcf", 0)
+	fs := NewFileStream(&buf)
+	for i := 0; i < 500; i++ {
+		want, _ := ref.Next()
+		got, ok := fs.Next()
+		if !ok {
+			t.Fatalf("file stream ended early at %d: %v", i, fs.Err())
+		}
+		if got != want {
+			t.Fatalf("access %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, ok := fs.Next(); ok {
+		t.Error("file stream should end after 500 accesses")
+	}
+	if fs.Err() != nil {
+		t.Errorf("unexpected error: %v", fs.Err())
+	}
+}
+
+func TestFileStreamParsing(t *testing.T) {
+	input := `
+# a comment
+10 L 42
+0 W 0x2A 3
+5 l 7 1 1
+`
+	fs := NewFileStream(strings.NewReader(input))
+	a1, ok := fs.Next()
+	if !ok || a1.Gap != 10 || a1.Kind != Load || a1.LineAddr != 42 {
+		t.Fatalf("a1 = %+v ok=%v", a1, ok)
+	}
+	a2, ok := fs.Next()
+	if !ok || a2.Kind != Write || a2.LineAddr != 42 || a2.Chain != 3 {
+		t.Fatalf("a2 = %+v ok=%v", a2, ok)
+	}
+	a3, ok := fs.Next()
+	if !ok || !a3.Dep || a3.Chain != 1 {
+		t.Fatalf("a3 = %+v ok=%v", a3, ok)
+	}
+	if _, ok := fs.Next(); ok || fs.Err() != nil {
+		t.Errorf("clean EOF expected, err=%v", fs.Err())
+	}
+}
+
+func TestFileStreamErrors(t *testing.T) {
+	cases := []string{
+		"notanumber L 42",
+		"10 X 42",
+		"10 L",
+		"-5 L 42",
+		"10 L zz",
+		"10 L 42 -1",
+		"10 L 42 1 maybe",
+	}
+	for _, c := range cases {
+		fs := NewFileStream(strings.NewReader(c))
+		if _, ok := fs.Next(); ok {
+			t.Errorf("input %q: expected parse failure", c)
+		}
+		if fs.Err() == nil {
+			t.Errorf("input %q: expected error", c)
+		}
+		// The stream stays failed.
+		if _, ok := fs.Next(); ok {
+			t.Errorf("input %q: stream must stay failed", c)
+		}
+	}
+}

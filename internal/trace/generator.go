@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"fmt"
+
+	"stfm/internal/dram"
+)
+
+// runState is one concurrent access stream of a thread (e.g. one array
+// it is walking). A thread with MLP = k keeps k such streams and
+// issues clusters containing one access from each, so overlapped
+// misses naturally land in different banks — the bank parallelism
+// STFM's BankWaitingParallelism heuristic is about.
+type runState struct {
+	channel   int
+	bank      int
+	row       int
+	col       int
+	runLeft   int
+	streamRow int
+}
+
+// Generator synthesizes an infinite DRAM-visible access stream with
+// the statistics of a Profile: demand reads arrive in clusters of
+// Profile.MLP (one access from each of MLP concurrent run streams,
+// modeling window-overlapped misses), clusters arrive in bursts with
+// duty cycle Profile.Duty, each stream's row runs have geometric
+// length realizing the target row-buffer hit rate, and dirty
+// writebacks trail reads at Profile.WriteFraction.
+type Generator struct {
+	prof Profile
+	geom dram.Geometry
+	rng  *Rand
+
+	// rowBase places this thread's working set in a disjoint row
+	// region so that co-running threads never share rows.
+	rowBase int
+	// allowedBanks is the per-channel bank set the thread touches;
+	// readBanks is the subset read streams draw from.
+	allowedBanks []int
+	readBanks    []int
+
+	streams    []runState
+	nextStream int
+	// wb is the writeback stream: dirty evictions trail the read
+	// streams through their own row region (and, when banks allow,
+	// their own banks), so write traffic has realistic row locality
+	// instead of randomly closing the read streams' open rows.
+	wb      runState
+	wbBanks []int
+
+	// Burst state.
+	burstClustersLeft int
+	clusterLeft       int
+	pendingIdle       int64
+	burstsStarted     int
+
+	reads, writes int64
+}
+
+// NewGenerator builds a generator for prof over the given DRAM
+// geometry. threadIdx selects a disjoint row region and the thread's
+// bank subset; seed makes the stream reproducible.
+func NewGenerator(prof Profile, geom dram.Geometry, threadIdx int, seed uint64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if prof.WorkingSetRows >= geom.RowsPerBank {
+		return nil, fmt.Errorf("trace: %s: working set of %d rows exceeds bank size %d", prof.Name, prof.WorkingSetRows, geom.RowsPerBank)
+	}
+	g := &Generator{
+		prof:    prof,
+		geom:    geom,
+		rng:     NewRand(seed ^ uint64(threadIdx+1)*0x9E3779B97F4A7C15 ^ hashName(prof.Name)),
+		rowBase: (threadIdx * 1024) % geom.RowsPerBank,
+		streams: make([]runState, prof.MLP),
+	}
+	nb := geom.BanksPerChannel
+	used := prof.Banks
+	if used == 0 || used > nb {
+		used = nb
+	}
+	// Spread different threads' restricted bank sets deterministically
+	// so that skew is a property of the thread, not a guaranteed
+	// head-on collision with every other skewed thread.
+	start := int((hashName(prof.Name) + uint64(threadIdx)) % uint64(nb))
+	for i := 0; i < used; i++ {
+		g.allowedBanks = append(g.allowedBanks, (start+i)%nb)
+	}
+	// When the thread has spare banks, reserve the last one for
+	// writebacks so eviction traffic does not close the read streams'
+	// open rows.
+	if len(g.allowedBanks) > len(g.streams) {
+		g.wbBanks = g.allowedBanks[len(g.allowedBanks)-1:]
+		g.readBanks = g.allowedBanks[:len(g.allowedBanks)-1]
+	} else {
+		g.wbBanks = g.allowedBanks
+		g.readBanks = g.allowedBanks
+	}
+	for i := range g.streams {
+		g.startRun(i)
+	}
+	g.startWBRun()
+	return g, nil
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Reads returns the number of demand reads generated so far.
+func (g *Generator) Reads() int64 { return g.reads }
+
+// Writes returns the number of writebacks generated so far.
+func (g *Generator) Writes() int64 { return g.writes }
+
+// clustersPerBurst sizes bursts to roughly 48 accesses.
+func (g *Generator) clustersPerBurst() int {
+	n := 48 / g.prof.MLP
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// startRun begins a new row run for stream i: pick a (channel, bank,
+// row) and the number of accesses that will stay in this row. Streams
+// prefer distinct banks (stream-index affinity into the allowed set)
+// so a thread's overlapped misses exercise bank parallelism rather
+// than conflicting with each other.
+func (g *Generator) startRun(i int) {
+	p := &g.prof
+	s := &g.streams[i]
+	s.channel = g.rng.Intn(g.geom.Channels)
+	if n, k := len(g.readBanks), len(g.streams); n >= k {
+		// Enough banks for affinity: stream i draws from its own
+		// share [i*n/k, (i+1)*n/k) of the read-bank set, so a
+		// thread's overlapped misses land in different banks.
+		lo, hi := i*n/k, (i+1)*n/k
+		s.bank = g.readBanks[lo+g.rng.Intn(hi-lo)]
+	} else {
+		s.bank = g.readBanks[g.rng.Intn(n)]
+	}
+	if p.Streaming {
+		s.streamRow++
+		s.row = g.rowBase + (s.streamRow*len(g.streams)+i)%p.WorkingSetRows
+		s.col = 0
+	} else {
+		s.row = g.rowBase + g.rng.Intn(p.WorkingSetRows)
+		s.col = g.rng.Intn(g.geom.LinesPerRow())
+	}
+	meanRun := 1 / (1 - p.RowHit)
+	s.runLeft = int(g.rng.Geometric(meanRun-1)) + 1
+	if max := g.geom.LinesPerRow(); s.runLeft > max {
+		s.runLeft = max
+	}
+}
+
+// startWBRun begins a new row run of the writeback stream, in the
+// thread's separate eviction row region.
+func (g *Generator) startWBRun() {
+	p := &g.prof
+	s := &g.wb
+	s.channel = g.rng.Intn(g.geom.Channels)
+	s.bank = g.wbBanks[g.rng.Intn(len(g.wbBanks))]
+	s.streamRow++
+	s.row = g.rowBase + 512 + s.streamRow%p.WorkingSetRows
+	s.col = g.rng.Intn(g.geom.LinesPerRow())
+	meanRun := 1 / (1 - p.RowHit)
+	s.runLeft = int(g.rng.Geometric(meanRun-1)) + 1
+	if max := g.geom.LinesPerRow(); s.runLeft > max {
+		s.runLeft = max
+	}
+}
+
+// nextWBLoc consumes one writeback from the eviction stream.
+func (g *Generator) nextWBLoc() dram.Location {
+	s := &g.wb
+	if s.runLeft <= 0 {
+		g.startWBRun()
+	}
+	loc := dram.Location{Channel: s.channel, Bank: s.bank, Row: s.row, Column: s.col}
+	s.col = (s.col + 1) % g.geom.LinesPerRow()
+	s.runLeft--
+	return loc
+}
+
+// nextReadLoc consumes one access from stream i's current run,
+// starting a new run when it is exhausted.
+func (g *Generator) nextReadLoc(i int) dram.Location {
+	s := &g.streams[i]
+	if s.runLeft <= 0 {
+		g.startRun(i)
+	}
+	loc := dram.Location{Channel: s.channel, Bank: s.bank, Row: s.row, Column: s.col}
+	s.col = (s.col + 1) % g.geom.LinesPerRow()
+	s.runLeft--
+	return loc
+}
+
+// intraClusterGapMean is the mean compute gap between the overlapped
+// misses of one cluster — small enough that they coexist in the
+// instruction window.
+const intraClusterGapMean = 3
+
+// gapBeforeCluster computes the compute-instruction gap preceding the
+// next cluster, implementing the burst/idle structure. The
+// intra-cluster gaps and the memory instructions themselves are
+// deducted from the cluster period so the realized MPKI matches the
+// profile.
+func (g *Generator) gapBeforeCluster() int64 {
+	p := &g.prof
+	interMiss := p.InterMissInstrs()
+	overhead := float64((p.MLP-1)*intraClusterGapMean + p.MLP)
+	clusterPeriod := interMiss*float64(p.MLP) - overhead
+	if clusterPeriod < 0 {
+		clusterPeriod = 0
+	}
+	if g.burstClustersLeft <= 0 {
+		// New burst; charge the idle period that preceded it — except
+		// before the very first burst (threads start active), so a
+		// short measurement window always observes misses. The idle
+		// length is deterministic: its randomness would dominate the
+		// realized MPKI of sparse benchmarks over short windows, and
+		// burst phases already drift via the per-cluster gaps.
+		b := g.clustersPerBurst()
+		g.burstClustersLeft = b
+		if p.Duty < 1 && g.burstsStarted > 0 {
+			idle := float64(b) * clusterPeriod * (1 - p.Duty)
+			g.pendingIdle = int64(idle)
+		}
+		g.burstsStarted++
+	}
+	g.burstClustersLeft--
+	gap := g.rng.Geometric(clusterPeriod * p.Duty)
+	gap += g.pendingIdle
+	g.pendingIdle = 0
+	return gap
+}
+
+// Next implements Stream. The returned ok is always true: the stream
+// is infinite.
+func (g *Generator) Next() (Access, bool) {
+	p := &g.prof
+	// Emit a trailing writeback when behind the target write/read
+	// ratio.
+	if g.reads > 0 && float64(g.writes) < p.WriteFraction*float64(g.reads) && g.rng.Float64() < p.WriteFraction {
+		g.writes++
+		return Access{Gap: 0, LineAddr: g.geom.LineAddr(g.nextWBLoc()), Kind: Write}, true
+	}
+	var gap int64
+	if g.clusterLeft <= 0 {
+		g.clusterLeft = len(g.streams)
+		g.nextStream = 0
+		gap = g.gapBeforeCluster()
+	} else {
+		gap = g.rng.Geometric(intraClusterGapMean)
+	}
+	i := g.nextStream
+	g.nextStream = (g.nextStream + 1) % len(g.streams)
+	g.clusterLeft--
+	loc := g.nextReadLoc(i)
+	g.reads++
+	// Streaming benchmarks issue address-independent misses (array
+	// walks): the window keeps several outstanding, producing the
+	// queued row-hit streaks FR-FCFS favors (Section 2.5). Everything
+	// else is a dependent chain per stream, which pins the thread's
+	// effective MLP at Profile.MLP.
+	return Access{Gap: gap, LineAddr: g.geom.LineAddr(loc), Kind: Load, Chain: i, Dep: !p.Streaming}, true
+}

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stfm/internal/dram"
+)
+
+func mustGen(t *testing.T, name string, threadIdx int) *Generator {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(p, dram.DefaultGeometry(1), threadIdx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := mustGen(t, "mcf", 0)
+	b := mustGen(t, "mcf", 0)
+	for i := 0; i < 1000; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x != y {
+			t.Fatalf("divergence at access %d: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestGeneratorRealizedMPKI(t *testing.T) {
+	for _, name := range []string{"mcf", "libquantum", "GemsFDTD", "hmmer", "gobmk"} {
+		g := mustGen(t, name, 0)
+		var instr, reads int64
+		n := 200_000
+		if g.Profile().MPKI < 2 {
+			n = 40_000
+		}
+		for i := 0; i < n; i++ {
+			a, _ := g.Next()
+			instr += a.Gap
+			if a.Kind == Load {
+				instr++
+				reads++
+			}
+		}
+		mpki := float64(reads) / float64(instr) * 1000
+		if math.Abs(mpki-g.Profile().MPKI)/g.Profile().MPKI > 0.1 {
+			t.Errorf("%s: realized MPKI %.2f vs target %.2f", name, mpki, g.Profile().MPKI)
+		}
+	}
+}
+
+func TestGeneratorWriteFraction(t *testing.T) {
+	g := mustGen(t, "lbm", 0) // WriteFraction 0.45
+	for i := 0; i < 100_000; i++ {
+		g.Next()
+	}
+	ratio := float64(g.Writes()) / float64(g.Reads())
+	if math.Abs(ratio-g.Profile().WriteFraction) > 0.05 {
+		t.Errorf("write ratio %.3f vs target %.3f", ratio, g.Profile().WriteFraction)
+	}
+}
+
+func TestGeneratorRowLocality(t *testing.T) {
+	// Stream-level hit estimate: fraction of reads landing on the
+	// same row as the previous access to that bank.
+	for _, name := range []string{"libquantum", "GemsFDTD", "mcf"} {
+		g := mustGen(t, name, 0)
+		geom := dram.DefaultGeometry(1)
+		lastRow := map[int]int{}
+		hits, reads := 0, 0
+		for i := 0; i < 100_000; i++ {
+			a, _ := g.Next()
+			loc := geom.Map(a.LineAddr)
+			key := loc.Channel*64 + loc.Bank
+			if a.Kind == Load {
+				reads++
+				if r, ok := lastRow[key]; ok && r == loc.Row {
+					hits++
+				}
+			}
+			lastRow[key] = loc.Row
+		}
+		got := float64(hits) / float64(reads)
+		if math.Abs(got-g.Profile().RowHit) > 0.08 {
+			t.Errorf("%s: stream row locality %.3f vs target %.3f", name, got, g.Profile().RowHit)
+		}
+	}
+}
+
+func TestGeneratorBankRestriction(t *testing.T) {
+	g := mustGen(t, "dealII", 0) // Banks: 2
+	geom := dram.DefaultGeometry(1)
+	banks := map[int]bool{}
+	for i := 0; i < 20_000; i++ {
+		a, _ := g.Next()
+		banks[geom.Map(a.LineAddr).Bank] = true
+	}
+	if len(banks) > 2 {
+		t.Errorf("dealII touched %d banks, profile allows 2", len(banks))
+	}
+}
+
+func TestGeneratorRowRegionDisjointAcrossThreads(t *testing.T) {
+	geom := dram.DefaultGeometry(1)
+	rows := make([]map[int]bool, 3)
+	for idx := 0; idx < 3; idx++ {
+		g := mustGen(t, "mcf", idx)
+		rows[idx] = map[int]bool{}
+		for i := 0; i < 20_000; i++ {
+			a, _ := g.Next()
+			rows[idx][geom.Map(a.LineAddr).Row] = true
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			for r := range rows[i] {
+				if rows[j][r] {
+					t.Fatalf("threads %d and %d share row %d", i, j, r)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorStreamingColumnsSequential(t *testing.T) {
+	g := mustGen(t, "libquantum", 0)
+	geom := dram.DefaultGeometry(1)
+	lastCol := map[int]int{}
+	sequential, total := 0, 0
+	for i := 0; i < 50_000; i++ {
+		a, _ := g.Next()
+		if a.Kind != Load {
+			continue
+		}
+		loc := geom.Map(a.LineAddr)
+		key := loc.Bank<<20 | loc.Row
+		if c, ok := lastCol[key]; ok {
+			total++
+			if loc.Column == (c+1)%geom.LinesPerRow() {
+				sequential++
+			}
+		}
+		lastCol[key] = loc.Column
+	}
+	if total == 0 || float64(sequential)/float64(total) < 0.9 {
+		t.Errorf("streaming columns sequential fraction = %d/%d", sequential, total)
+	}
+}
+
+func TestGeneratorDependenceMarks(t *testing.T) {
+	dep := mustGen(t, "GemsFDTD", 0)     // non-streaming: dependent
+	indep := mustGen(t, "libquantum", 0) // streaming: independent
+	for i := 0; i < 1000; i++ {
+		if a, _ := dep.Next(); a.Kind == Load && !a.Dep {
+			t.Fatal("non-streaming loads must be dependent")
+		}
+		if a, _ := indep.Next(); a.Kind == Load && a.Dep {
+			t.Fatal("streaming loads must be independent")
+		}
+	}
+}
+
+func TestGeneratorChainsWithinMLP(t *testing.T) {
+	g := mustGen(t, "mcf", 0) // MLP 2
+	for i := 0; i < 1000; i++ {
+		a, _ := g.Next()
+		if a.Kind == Load && (a.Chain < 0 || a.Chain >= g.Profile().MLP) {
+			t.Fatalf("chain %d outside [0,%d)", a.Chain, g.Profile().MLP)
+		}
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	geom := dram.DefaultGeometry(1)
+	bad := SPEC2006()[0]
+	bad.MPKI = 0
+	if _, err := NewGenerator(bad, geom, 0, 1); err == nil {
+		t.Error("invalid profile must be rejected")
+	}
+	badGeom := geom
+	badGeom.Channels = 0
+	if _, err := NewGenerator(SPEC2006()[0], badGeom, 0, 1); err == nil {
+		t.Error("invalid geometry must be rejected")
+	}
+}
+
+// TestGeneratorAddressesInBoundsProperty: every generated address maps
+// to a legal location for any profile and thread index.
+func TestGeneratorAddressesInBoundsProperty(t *testing.T) {
+	profs := SPEC2006()
+	geom := dram.DefaultGeometry(2)
+	f := func(profIdx, threadIdx uint8, seed uint64) bool {
+		p := profs[int(profIdx)%len(profs)]
+		g, err := NewGenerator(p, geom, int(threadIdx)%16, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			a, ok := g.Next()
+			if !ok {
+				return false
+			}
+			loc := geom.Map(a.LineAddr)
+			if loc.Row < 0 || loc.Row >= geom.RowsPerBank || loc.Bank >= geom.BanksPerChannel {
+				return false
+			}
+			if a.Gap < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package trace
+
+import "fmt"
+
+// Category is the paper's benchmark classification (Table 3): memory
+// intensiveness crossed with row-buffer locality.
+type Category int
+
+const (
+	// NotIntensiveLowRB is category 0: not memory-intensive, low
+	// row-buffer hit rate.
+	NotIntensiveLowRB Category = iota
+	// NotIntensiveHighRB is category 1.
+	NotIntensiveHighRB
+	// IntensiveLowRB is category 2.
+	IntensiveLowRB
+	// IntensiveHighRB is category 3.
+	IntensiveHighRB
+)
+
+// Intensive reports whether the category is memory-intensive.
+func (c Category) Intensive() bool { return c >= IntensiveLowRB }
+
+// Profile is the memory personality of one benchmark: the parameters
+// the synthetic generator reproduces, plus the paper's measured values
+// (MCPI) kept for calibration reference.
+type Profile struct {
+	// Name is the benchmark's name as used in the paper's figures.
+	Name string
+	// MPKI is the L2 misses per 1000 instructions when run alone
+	// (Table 3 "L2 MPKI"), i.e. the DRAM demand-read intensity.
+	MPKI float64
+	// RowHit is the row-buffer hit rate the benchmark exhibits when
+	// run alone (Table 3 "RB hit rate", 0..1).
+	RowHit float64
+	// PaperMCPI is the paper's measured memory cycles per instruction,
+	// used only to sanity-check calibration, never by the generator.
+	PaperMCPI float64
+	// Category is the paper's class (Table 3).
+	Category Category
+	// Banks restricts the benchmark's accesses to this many banks per
+	// channel (0 = all banks). dealII and astar concentrate on 2
+	// banks (paper footnote 16 and Section 7.2.1), iexplorer on 2 and
+	// instant-messenger on 3 (Section 7.4) — the access-balance
+	// pathologies NFQ suffers from.
+	Banks int
+	// Duty is the fraction of time the thread is in a memory burst
+	// (1 = continuous issue like mcf; small values give the bursty
+	// on/off pattern behind NFQ's idleness problem, Section 4).
+	Duty float64
+	// MLP is the typical number of misses clustered close enough to
+	// overlap in the instruction window (memory-level parallelism /
+	// bank parallelism when run alone).
+	MLP int
+	// Streaming makes row runs walk columns sequentially and advance
+	// to the next row at run end (libquantum's 98.4%-hit streaming).
+	Streaming bool
+	// WriteFraction is the ratio of writeback traffic to demand reads.
+	WriteFraction float64
+	// WorkingSetRows is the number of distinct rows per bank the
+	// thread touches (its DRAM footprint).
+	WorkingSetRows int
+}
+
+// Validate reports an error for out-of-range parameters.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("trace: profile has no name")
+	case p.MPKI <= 0:
+		return fmt.Errorf("trace: %s: MPKI must be positive, got %v", p.Name, p.MPKI)
+	case p.RowHit < 0 || p.RowHit >= 1:
+		return fmt.Errorf("trace: %s: RowHit must be in [0,1), got %v", p.Name, p.RowHit)
+	case p.Duty <= 0 || p.Duty > 1:
+		return fmt.Errorf("trace: %s: Duty must be in (0,1], got %v", p.Name, p.Duty)
+	case p.MLP < 1:
+		return fmt.Errorf("trace: %s: MLP must be >= 1, got %d", p.Name, p.MLP)
+	case p.WriteFraction < 0 || p.WriteFraction > 1:
+		return fmt.Errorf("trace: %s: WriteFraction must be in [0,1], got %v", p.Name, p.WriteFraction)
+	case p.WorkingSetRows < 2 || p.WorkingSetRows > 512:
+		// The upper bound keeps each thread's read and writeback row
+		// regions inside its disjoint 1024-row slice of every bank.
+		return fmt.Errorf("trace: %s: WorkingSetRows must be in [2,512], got %d", p.Name, p.WorkingSetRows)
+	case p.Banks < 0:
+		return fmt.Errorf("trace: %s: Banks must be >= 0, got %d", p.Name, p.Banks)
+	}
+	return nil
+}
+
+// InterMissInstrs returns the mean number of instructions between
+// demand misses.
+func (p Profile) InterMissInstrs() float64 { return 1000 / p.MPKI }
+
+// spec builds a Profile with defaults derived from the table values.
+func spec(name string, mcpi, mpki, rbHit float64, cat Category, opts ...func(*Profile)) Profile {
+	p := Profile{
+		Name:           name,
+		MPKI:           mpki,
+		RowHit:         rbHit,
+		PaperMCPI:      mcpi,
+		Category:       cat,
+		Duty:           1.0,
+		MLP:            defaultMLP(mpki),
+		WriteFraction:  0.25,
+		WorkingSetRows: defaultRows(mpki),
+	}
+	if !cat.Intensive() {
+		// Non-intensive benchmarks issue in bursts with idle periods
+		// between them (Section 4's idleness discussion).
+		p.Duty = 0.3
+	}
+	for _, o := range opts {
+		o(&p)
+	}
+	return p
+}
+
+// defaultMLP is 1: the paper's per-benchmark stall-per-miss figures
+// (MCPI x 1000 / MPKI against the uncontended round-trip latencies)
+// imply effective memory-level parallelism close to 1 for most SPEC
+// benchmarks; the exceptions get explicit mlp() overrides.
+func defaultMLP(float64) int { return 1 }
+
+func defaultRows(mpki float64) int {
+	switch {
+	case mpki >= 40:
+		return 512
+	case mpki >= 10:
+		return 256
+	case mpki >= 1:
+		return 128
+	default:
+		return 32
+	}
+}
+
+func banks(n int) func(*Profile)      { return func(p *Profile) { p.Banks = n } }
+func duty(d float64) func(*Profile)   { return func(p *Profile) { p.Duty = d } }
+func mlp(n int) func(*Profile)        { return func(p *Profile) { p.MLP = n } }
+func streaming() func(*Profile)       { return func(p *Profile) { p.Streaming = true } }
+func writes(f float64) func(*Profile) { return func(p *Profile) { p.WriteFraction = f } }
+
+// SPEC2006 returns the 26 SPEC CPU2006 profiles of Table 3, in the
+// paper's memory-intensiveness order (index 0 = mcf = the paper's
+// benchmark #1).
+func SPEC2006() []Profile {
+	return []Profile{
+		spec("mcf", 10.02, 101.06, 0.419, IntensiveLowRB, mlp(2)),
+		spec("libquantum", 9.10, 50.00, 0.984, IntensiveHighRB, streaming(), duty(0.9), writes(0.4)),
+		spec("leslie3d", 7.82, 36.21, 0.825, IntensiveHighRB, duty(0.5)),
+		spec("soplex", 7.48, 45.66, 0.639, IntensiveHighRB),
+		spec("milc", 6.74, 51.05, 0.9177, IntensiveHighRB, streaming()),
+		spec("lbm", 6.44, 43.46, 0.546, IntensiveHighRB, writes(0.45), mlp(2)),
+		spec("sphinx3", 5.49, 24.97, 0.578, IntensiveHighRB),
+		spec("GemsFDTD", 3.87, 17.62, 0.002, IntensiveLowRB, duty(0.5)),
+		spec("cactusADM", 3.53, 14.66, 0.020, IntensiveLowRB, duty(0.6)),
+		spec("xalancbmk", 3.18, 21.66, 0.548, IntensiveHighRB),
+		spec("astar", 2.02, 9.25, 0.448, NotIntensiveLowRB, banks(2)),
+		spec("omnetpp", 1.78, 13.83, 0.219, NotIntensiveLowRB, mlp(2)),
+		spec("hmmer", 1.52, 5.82, 0.327, NotIntensiveLowRB),
+		spec("h264ref", 0.71, 3.22, 0.653, NotIntensiveHighRB, duty(0.25)),
+		spec("bzip2", 0.55, 3.55, 0.414, NotIntensiveLowRB),
+		spec("gromacs", 0.37, 1.26, 0.410, NotIntensiveHighRB),
+		spec("gobmk", 0.19, 0.94, 0.568, NotIntensiveHighRB),
+		spec("dealII", 0.16, 0.86, 0.902, NotIntensiveHighRB, banks(2), mlp(2), writes(0.05)),
+		spec("wrf", 0.14, 0.77, 0.769, NotIntensiveHighRB),
+		spec("sjeng", 0.12, 0.51, 0.234, NotIntensiveLowRB),
+		spec("namd", 0.11, 0.54, 0.726, NotIntensiveHighRB),
+		spec("tonto", 0.07, 0.39, 0.345, NotIntensiveLowRB),
+		spec("gcc", 0.07, 0.42, 0.586, NotIntensiveHighRB),
+		spec("calculix", 0.05, 0.29, 0.718, NotIntensiveHighRB),
+		spec("perlbench", 0.03, 0.20, 0.698, NotIntensiveHighRB),
+		spec("povray", 0.01, 0.09, 0.766, NotIntensiveHighRB),
+	}
+}
+
+// Desktop returns the Windows desktop application profiles of Table 4
+// (Section 7.4): two memory-intensive background threads and two
+// non-intensive foreground threads with poor bank balance.
+func Desktop() []Profile {
+	return []Profile{
+		spec("xml-parser", 8.56, 53.46, 0.958, IntensiveHighRB, streaming()),
+		spec("matlab", 11.06, 60.26, 0.978, IntensiveHighRB, streaming(), writes(0.4)),
+		spec("iexplorer", 0.55, 3.55, 0.414, NotIntensiveLowRB, banks(2), duty(0.25)),
+		spec("instant-messenger", 1.56, 7.72, 0.228, NotIntensiveLowRB, banks(3), duty(0.25)),
+	}
+}
+
+// Attacker returns a synthetic memory-performance-attack program in
+// the spirit of Moscibroda & Mutlu's "Memory Performance Attacks"
+// (USENIX Security 2007), the paper's reference [20] and one of its
+// motivations: a tight streaming loop engineered for maximal row-buffer
+// locality and request rate, so that a row-hit-first scheduler
+// services it almost exclusively. It is deliberately *not* malicious
+// code — just a worst-case-friendly access pattern any user process
+// could exhibit.
+func Attacker() Profile {
+	return Profile{
+		Name:           "attacker",
+		MPKI:           120,
+		RowHit:         0.99,
+		PaperMCPI:      0, // not a Table 3 benchmark
+		Category:       IntensiveHighRB,
+		Duty:           1.0,
+		MLP:            2,
+		Streaming:      true,
+		WriteFraction:  0.5,
+		WorkingSetRows: 512,
+	}
+}
+
+// ByName returns the profile with the given name from the SPEC,
+// desktop and synthetic sets.
+func ByName(name string) (Profile, error) {
+	for _, p := range append(SPEC2006(), Desktop()...) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	if p := Attacker(); p.Name == name {
+		return p, nil
+	}
+	return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}
+
+// Names returns the names of the given profiles, preserving order.
+func Names(profiles []Profile) []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package trace
+
+import "testing"
+
+func TestSPEC2006Table(t *testing.T) {
+	profs := SPEC2006()
+	if len(profs) != 26 {
+		t.Fatalf("SPEC2006 has %d entries, want 26 (Table 3)", len(profs))
+	}
+	// Table 3 is ordered by memory intensiveness.
+	for i := 1; i < len(profs); i++ {
+		if profs[i].MPKI > profs[i-1].MPKI*1.01 && profs[i].PaperMCPI > profs[i-1].PaperMCPI {
+			t.Errorf("ordering broken at %s", profs[i].Name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range profs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	// The paper's headline examples.
+	for _, c := range []struct {
+		name string
+		mpki float64
+		cat  Category
+	}{
+		{"mcf", 101.06, IntensiveLowRB},
+		{"libquantum", 50.00, IntensiveHighRB},
+		{"GemsFDTD", 17.62, IntensiveLowRB},
+		{"dealII", 0.86, NotIntensiveHighRB},
+	} {
+		p, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.MPKI != c.mpki || p.Category != c.cat {
+			t.Errorf("%s: MPKI %v cat %v, want %v/%v", c.name, p.MPKI, p.Category, c.mpki, c.cat)
+		}
+	}
+}
+
+func TestDesktopTable(t *testing.T) {
+	profs := Desktop()
+	if len(profs) != 4 {
+		t.Fatalf("Desktop has %d entries, want 4 (Table 4)", len(profs))
+	}
+	// iexplorer concentrates on 2 banks, instant-messenger on 3
+	// (Section 7.4).
+	byName := map[string]Profile{}
+	for _, p := range profs {
+		byName[p.Name] = p
+	}
+	if byName["iexplorer"].Banks != 2 {
+		t.Error("iexplorer must use 2 banks")
+	}
+	if byName["instant-messenger"].Banks != 3 {
+		t.Error("instant-messenger must use 3 banks")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("no-such-benchmark"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestCategoryHelpers(t *testing.T) {
+	if NotIntensiveLowRB.Intensive() || NotIntensiveHighRB.Intensive() {
+		t.Error("category 0/1 are not intensive")
+	}
+	if !IntensiveLowRB.Intensive() || !IntensiveHighRB.Intensive() {
+		t.Error("category 2/3 are intensive")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	base := SPEC2006()[0]
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"empty name", func(p *Profile) { p.Name = "" }},
+		{"zero mpki", func(p *Profile) { p.MPKI = 0 }},
+		{"rowhit 1", func(p *Profile) { p.RowHit = 1 }},
+		{"negative rowhit", func(p *Profile) { p.RowHit = -0.1 }},
+		{"zero duty", func(p *Profile) { p.Duty = 0 }},
+		{"duty > 1", func(p *Profile) { p.Duty = 1.5 }},
+		{"zero mlp", func(p *Profile) { p.MLP = 0 }},
+		{"write fraction", func(p *Profile) { p.WriteFraction = 1.5 }},
+		{"tiny working set", func(p *Profile) { p.WorkingSetRows = 1 }},
+		{"huge working set", func(p *Profile) { p.WorkingSetRows = 1024 }},
+		{"negative banks", func(p *Profile) { p.Banks = -1 }},
+	}
+	for _, c := range cases {
+		p := base
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestInterMissInstrs(t *testing.T) {
+	p := Profile{MPKI: 10}
+	if got := p.InterMissInstrs(); got != 100 {
+		t.Errorf("InterMissInstrs = %v, want 100", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	got := Names(SPEC2006()[:3])
+	want := []string{"mcf", "libquantum", "leslie3d"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package trace generates synthetic per-benchmark memory access
+// streams that stand in for the paper's proprietary SPEC CPU2006 and
+// Windows desktop traces.
+//
+// The substitution is behavioural: each generator reproduces the
+// *memory personality* the paper reports for its benchmark in Table 3
+// / Table 4 — memory intensity (L2 misses per kilo-instruction),
+// row-buffer locality, bank-access balance, burstiness, and
+// memory-level parallelism — because every effect the paper analyses
+// (FR-FCFS column-first favoritism, FCFS backlog, NFQ's idleness and
+// access-balance problems, MLP serialization) is a function of exactly
+// these stream statistics rather than of SPEC instruction semantics.
+// Generators are deterministic given a seed.
+package trace
+
+import "math"
+
+// Kind distinguishes the two classes of DRAM-visible traffic a thread
+// produces.
+type Kind uint8
+
+const (
+	// Load is a demand cache-line read the thread may stall on (an L2
+	// miss fill in direct mode; a load instruction in cache mode).
+	Load Kind = iota
+	// Write is non-blocking write traffic (a dirty writeback); it
+	// occupies DRAM banks and buses but never stalls commit.
+	Write
+)
+
+// Access is one element of a thread's memory stream.
+type Access struct {
+	// Gap is the number of compute (non-memory) instructions the core
+	// executes before this access.
+	Gap int64
+	// LineAddr is the physical cache-line address.
+	LineAddr uint64
+	// Kind classifies the access.
+	Kind Kind
+	// Chain identifies the dependence chain a Load belongs to. A load
+	// with Dep set cannot issue until the previous load of its chain
+	// has completed — this is how the generators control a thread's
+	// effective memory-level parallelism independent of the
+	// instruction-window size (each of a Profile's MLP streams is one
+	// serial chain).
+	Chain int
+	// Dep marks the load as address-dependent on its chain
+	// predecessor.
+	Dep bool
+}
+
+// Stream produces a thread's access sequence. Next returns ok=false
+// when the stream is exhausted; generators are infinite and always
+// return true.
+type Stream interface {
+	Next() (Access, bool)
+}
+
+// Limited bounds a stream to n accesses (test convenience).
+type Limited struct {
+	S Stream
+	N int64
+}
+
+// Next implements Stream.
+func (l *Limited) Next() (Access, bool) {
+	if l.N <= 0 {
+		return Access{}, false
+	}
+	l.N--
+	return l.S.Next()
+}
+
+// Rand is a deterministic xorshift64* PRNG; good enough statistical
+// quality for workload synthesis and fully reproducible across runs.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator. A zero seed is remapped to a fixed
+// non-zero constant since xorshift has a zero fixed point.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Geometric returns a sample from a geometric-ish distribution with
+// the given mean (>= 0); used for inter-miss gaps and row-run lengths.
+func (r *Rand) Geometric(mean float64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	// Inverse CDF of the exponential distribution, rounded; matches a
+	// geometric distribution closely for the means used here.
+	u := r.Float64()
+	v := -mean * math.Log1p(-u)
+	if v < 0 {
+		v = 0
+	}
+	return int64(v + 0.5)
+}

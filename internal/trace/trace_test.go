@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same sequence")
+		}
+	}
+	if NewRand(7).Uint64() == NewRand(8).Uint64() {
+		t.Error("different seeds should diverge immediately")
+	}
+	if NewRand(0).Uint64() == 0 {
+		t.Error("zero seed must be remapped off the xorshift fixed point")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 10_000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandIntn(t *testing.T) {
+	r := NewRand(5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Intn(8) covered %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRand(11)
+	for _, mean := range []float64{3, 50, 1000} {
+		var sum float64
+		n := 20_000
+		for i := 0; i < n; i++ {
+			sum += float64(r.Geometric(mean))
+		}
+		got := sum / float64(n)
+		if math.Abs(got-mean)/mean > 0.1 {
+			t.Errorf("Geometric(%v) sample mean = %v (>10%% off)", mean, got)
+		}
+	}
+	if NewRand(1).Geometric(0) != 0 {
+		t.Error("Geometric(0) must be 0")
+	}
+}
+
+func TestLimitedStream(t *testing.T) {
+	g := mustGen(t, "mcf", 0)
+	l := &Limited{S: g, N: 5}
+	for i := 0; i < 5; i++ {
+		if _, ok := l.Next(); !ok {
+			t.Fatalf("access %d should exist", i)
+		}
+	}
+	if _, ok := l.Next(); ok {
+		t.Error("limited stream must end after N accesses")
+	}
+}

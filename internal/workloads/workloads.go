@@ -1,0 +1,181 @@
+// Package workloads constructs the multiprogrammed benchmark mixes of
+// the paper's Section 6.1: combinations of SPEC CPU2006 benchmarks
+// drawn from the four (intensiveness x row-buffer-locality) categories
+// for 2, 4, 8 and 16-core systems, plus the desktop mix of Section 7.4.
+//
+// The paper evaluated 256 category combinations on 4 cores, 32 on 8
+// cores and 3 specified mixes on 16 cores; the concrete benchmark
+// lists were published out-of-band and are no longer available, so
+// this package regenerates them deterministically: every 4-core
+// category pattern (4^4 = 256) is enumerated in order and concrete
+// benchmarks are drawn round-robin from each category, which preserves
+// the paper's coverage (every category mix appears) and its averaging
+// methodology.
+package workloads
+
+import (
+	"fmt"
+
+	"stfm/internal/trace"
+)
+
+// byCategory groups the SPEC profiles by paper category, preserving
+// intensiveness order.
+func byCategory() map[trace.Category][]trace.Profile {
+	m := make(map[trace.Category][]trace.Profile)
+	for _, p := range trace.SPEC2006() {
+		m[p.Category] = append(m[p.Category], p)
+	}
+	return m
+}
+
+// Mix is a named multiprogrammed workload.
+type Mix struct {
+	Name     string
+	Profiles []trace.Profile
+}
+
+// FourCoreMixes returns the 256 4-core workloads: one per category
+// pattern (c0,c1,c2,c3) in lexicographic order, with concrete
+// benchmarks drawn round-robin within each category so repeated
+// patterns use different programs.
+func FourCoreMixes() []Mix {
+	cats := byCategory()
+	next := map[trace.Category]int{}
+	var out []Mix
+	for i := 0; i < 256; i++ {
+		pattern := [4]trace.Category{
+			trace.Category(i / 64 % 4),
+			trace.Category(i / 16 % 4),
+			trace.Category(i / 4 % 4),
+			trace.Category(i % 4),
+		}
+		var profs []trace.Profile
+		for _, c := range pattern {
+			pool := cats[c]
+			profs = append(profs, pool[next[c]%len(pool)])
+			next[c]++
+		}
+		out = append(out, Mix{Name: fmt.Sprintf("4c-%03d", i), Profiles: profs})
+	}
+	return out
+}
+
+// EightCoreMixes returns 32 diverse 8-core workloads, each holding two
+// benchmarks from every category (the paper's "32 diverse
+// combinations of benchmarks selected from different categories").
+func EightCoreMixes() []Mix {
+	cats := byCategory()
+	next := map[trace.Category]int{}
+	var out []Mix
+	for i := 0; i < 32; i++ {
+		var profs []trace.Profile
+		for slot := 0; slot < 8; slot++ {
+			c := trace.Category(slot % 4)
+			pool := cats[c]
+			profs = append(profs, pool[(next[c]+slot/4)%len(pool)])
+			if slot%4 == 3 {
+				for cc := range cats {
+					next[cc]++
+				}
+			}
+		}
+		out = append(out, Mix{Name: fmt.Sprintf("8c-%02d", i), Profiles: profs})
+	}
+	return out
+}
+
+// SixteenCoreMixes returns the paper's three 16-core workloads
+// (Section 7.3): the 16 most memory-intensive benchmarks, the 8 most
+// intensive with the 8 least intensive, and the 16 least intensive.
+func SixteenCoreMixes() []Mix {
+	all := trace.SPEC2006() // already ordered by intensiveness
+	n := len(all)
+	high16 := append([]trace.Profile(nil), all[:16]...)
+	low16 := append([]trace.Profile(nil), all[n-16:]...)
+	var mixed []trace.Profile
+	mixed = append(mixed, all[:8]...)
+	mixed = append(mixed, all[n-8:]...)
+	return []Mix{
+		{Name: "high16", Profiles: high16},
+		{Name: "high8+low8", Profiles: mixed},
+		{Name: "low16", Profiles: low16},
+	}
+}
+
+// Desktop returns the 4-core Windows desktop workload of Section 7.4:
+// two memory-intensive background threads (xml-parser, matlab) and two
+// foreground threads (iexplorer, instant-messenger).
+func Desktop() Mix {
+	return Mix{Name: "desktop", Profiles: trace.Desktop()}
+}
+
+// SampleFourCore returns ten representative 4-core mixes in the
+// spirit of Figure 9's individual workloads, spanning all category
+// patterns from fully intensive to fully non-intensive.
+func SampleFourCore() []Mix {
+	specs := [][]string{
+		{"libquantum", "milc", "mcf", "lbm"},
+		{"mcf", "leslie3d", "libquantum", "soplex"},
+		{"libquantum", "lbm", "astar", "omnetpp"},
+		{"mcf", "cactusADM", "omnetpp", "hmmer"},
+		{"leslie3d", "astar", "omnetpp", "dealII"},
+		{"mcf", "astar", "h264ref", "bzip2"},
+		{"libquantum", "omnetpp", "hmmer", "gromacs"},
+		{"GemsFDTD", "sphinx3", "hmmer", "h264ref"},
+		{"astar", "omnetpp", "hmmer", "dealII"},
+		{"hmmer", "bzip2", "gromacs", "gobmk"},
+	}
+	return named("4c-sample", specs)
+}
+
+// SampleEightCore returns ten representative 8-core mixes in the
+// spirit of Figure 11's individual workloads.
+func SampleEightCore() []Mix {
+	specs := [][]string{
+		{"milc", "mcf", "lbm", "libquantum", "sphinx3", "leslie3d", "cactusADM", "soplex"},
+		{"mcf", "libquantum", "leslie3d", "soplex", "astar", "omnetpp", "hmmer", "h264ref"},
+		{"libquantum", "lbm", "GemsFDTD", "xalancbmk", "omnetpp", "bzip2", "gromacs", "dealII"},
+		{"mcf", "milc", "cactusADM", "sphinx3", "hmmer", "h264ref", "gobmk", "wrf"},
+		{"leslie3d", "soplex", "xalancbmk", "GemsFDTD", "astar", "dealII", "sjeng", "namd"},
+		{"mcf", "libquantum", "astar", "omnetpp", "hmmer", "bzip2", "dealII", "gobmk"},
+		{"lbm", "sphinx3", "cactusADM", "milc", "h264ref", "gromacs", "wrf", "tonto"},
+		{"mcf", "GemsFDTD", "soplex", "xalancbmk", "omnetpp", "astar", "gcc", "calculix"},
+		{"libquantum", "leslie3d", "hmmer", "h264ref", "bzip2", "dealII", "namd", "perlbench"},
+		{"mcf", "h264ref", "bzip2", "gromacs", "gobmk", "dealII", "wrf", "namd"},
+	}
+	return named("8c-sample", specs)
+}
+
+func named(prefix string, specs [][]string) []Mix {
+	var out []Mix
+	for i, names := range specs {
+		var profs []trace.Profile
+		for _, n := range names {
+			p, err := trace.ByName(n)
+			if err != nil {
+				panic(err) // static tables; a typo is a programming error
+			}
+			profs = append(profs, p)
+		}
+		out = append(out, Mix{Name: fmt.Sprintf("%s-%d", prefix, i), Profiles: profs})
+	}
+	return out
+}
+
+// TwoCorePairs returns the Figure 5 workloads: mcf paired with every
+// other SPEC benchmark.
+func TwoCorePairs() []Mix {
+	var out []Mix
+	mcf, err := trace.ByName("mcf")
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range trace.SPEC2006() {
+		if p.Name == "mcf" {
+			continue
+		}
+		out = append(out, Mix{Name: "mcf+" + p.Name, Profiles: []trace.Profile{mcf, p}})
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"testing"
+
+	"stfm/internal/trace"
+)
+
+func TestFourCoreMixes(t *testing.T) {
+	mixes := FourCoreMixes()
+	if len(mixes) != 256 {
+		t.Fatalf("got %d mixes, want 256", len(mixes))
+	}
+	// Every category pattern must appear exactly once, in order.
+	for i, m := range mixes {
+		if len(m.Profiles) != 4 {
+			t.Fatalf("mix %d has %d profiles", i, len(m.Profiles))
+		}
+		want := [4]trace.Category{
+			trace.Category(i / 64 % 4),
+			trace.Category(i / 16 % 4),
+			trace.Category(i / 4 % 4),
+			trace.Category(i % 4),
+		}
+		for slot, p := range m.Profiles {
+			if p.Category != want[slot] {
+				t.Fatalf("mix %d slot %d category %v, want %v", i, slot, p.Category, want[slot])
+			}
+		}
+	}
+	// Same pattern occurring again must rotate the concrete choices.
+	if mixes[0].Profiles[0].Name == mixes[1].Profiles[0].Name &&
+		mixes[0].Profiles[1].Name == mixes[1].Profiles[1].Name &&
+		mixes[0].Profiles[2].Name == mixes[1].Profiles[2].Name {
+		t.Error("consecutive mixes should draw different benchmarks")
+	}
+}
+
+func TestEightCoreMixes(t *testing.T) {
+	mixes := EightCoreMixes()
+	if len(mixes) != 32 {
+		t.Fatalf("got %d mixes, want 32", len(mixes))
+	}
+	for i, m := range mixes {
+		if len(m.Profiles) != 8 {
+			t.Fatalf("mix %d has %d profiles", i, len(m.Profiles))
+		}
+		// Two benchmarks from each category.
+		counts := map[trace.Category]int{}
+		for _, p := range m.Profiles {
+			counts[p.Category]++
+		}
+		for c := trace.NotIntensiveLowRB; c <= trace.IntensiveHighRB; c++ {
+			if counts[c] != 2 {
+				t.Fatalf("mix %d has %d of category %v, want 2", i, counts[c], c)
+			}
+		}
+	}
+}
+
+func TestSixteenCoreMixes(t *testing.T) {
+	mixes := SixteenCoreMixes()
+	if len(mixes) != 3 {
+		t.Fatalf("got %d mixes, want 3", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Profiles) != 16 {
+			t.Fatalf("%s has %d profiles", m.Name, len(m.Profiles))
+		}
+	}
+	// high16 must start with mcf (the most intensive) and low16 must
+	// not contain it.
+	if mixes[0].Profiles[0].Name != "mcf" {
+		t.Error("high16 should start with mcf")
+	}
+	for _, p := range mixes[2].Profiles {
+		if p.Name == "mcf" {
+			t.Error("low16 must not contain mcf")
+		}
+	}
+	// high8+low8 contains both extremes.
+	names := map[string]bool{}
+	for _, p := range mixes[1].Profiles {
+		names[p.Name] = true
+	}
+	if !names["mcf"] || !names["povray"] {
+		t.Error("high8+low8 must span the intensity extremes")
+	}
+}
+
+func TestDesktopMix(t *testing.T) {
+	m := Desktop()
+	if len(m.Profiles) != 4 {
+		t.Fatalf("desktop mix has %d profiles", len(m.Profiles))
+	}
+	if m.Profiles[0].Name != "xml-parser" {
+		t.Errorf("unexpected first profile %s", m.Profiles[0].Name)
+	}
+}
+
+func TestSampleMixes(t *testing.T) {
+	for _, m := range SampleFourCore() {
+		if len(m.Profiles) != 4 {
+			t.Errorf("%s has %d profiles", m.Name, len(m.Profiles))
+		}
+	}
+	for _, m := range SampleEightCore() {
+		if len(m.Profiles) != 8 {
+			t.Errorf("%s has %d profiles", m.Name, len(m.Profiles))
+		}
+	}
+}
+
+func TestTwoCorePairs(t *testing.T) {
+	pairs := TwoCorePairs()
+	if len(pairs) != 25 {
+		t.Fatalf("got %d pairs, want 25 (mcf with every other benchmark)", len(pairs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		if p.Profiles[0].Name != "mcf" {
+			t.Errorf("%s: first thread must be mcf", p.Name)
+		}
+		if p.Profiles[1].Name == "mcf" {
+			t.Error("mcf must not be paired with itself")
+		}
+		if seen[p.Profiles[1].Name] {
+			t.Errorf("duplicate pair partner %s", p.Profiles[1].Name)
+		}
+		seen[p.Profiles[1].Name] = true
+	}
+}
+
+func TestMixNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, set := range [][]Mix{FourCoreMixes(), EightCoreMixes(), SixteenCoreMixes(), SampleFourCore(), SampleEightCore()} {
+		for _, m := range set {
+			if seen[m.Name] {
+				t.Errorf("duplicate mix name %s", m.Name)
+			}
+			seen[m.Name] = true
+		}
+	}
+}

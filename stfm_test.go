@@ -1,0 +1,158 @@
+package stfm_test
+
+import (
+	"testing"
+
+	"stfm"
+)
+
+func TestRunBasic(t *testing.T) {
+	res, err := stfm.Run(stfm.Config{
+		Scheduler:    stfm.STFM,
+		Workload:     []string{"mcf", "libquantum"},
+		Instructions: 40_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != stfm.STFM {
+		t.Errorf("scheduler = %v", res.Scheduler)
+	}
+	if len(res.Threads) != 2 {
+		t.Fatalf("threads = %d", len(res.Threads))
+	}
+	for _, th := range res.Threads {
+		if th.Slowdown < 1 {
+			t.Errorf("%s slowdown %v < 1", th.Benchmark, th.Slowdown)
+		}
+		if th.IPC <= 0 || th.AloneIPC <= 0 {
+			t.Errorf("%s has non-positive IPC fields", th.Benchmark)
+		}
+	}
+	if res.Unfairness < 1 {
+		t.Errorf("unfairness %v < 1", res.Unfairness)
+	}
+	if res.WeightedSpeedup <= 0 || res.WeightedSpeedup > 2 {
+		t.Errorf("weighted speedup %v out of (0,2] for 2 threads", res.WeightedSpeedup)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	// Empty scheduler defaults to FR-FCFS.
+	res, err := stfm.Run(stfm.Config{Workload: []string{"hmmer", "dealII"}, Instructions: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != stfm.FRFCFS {
+		t.Errorf("default scheduler = %v, want FR-FCFS", res.Scheduler)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := stfm.Run(stfm.Config{}); err == nil {
+		t.Error("empty workload must fail")
+	}
+	if _, err := stfm.Run(stfm.Config{Workload: []string{"not-a-benchmark"}}); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+	if _, err := stfm.Run(stfm.Config{
+		Workload: []string{"mcf", "hmmer"},
+		Weights:  []float64{1},
+	}); err == nil {
+		t.Error("weight count mismatch must fail")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	results, err := stfm.Compare(stfm.Config{
+		Workload:     []string{"mcf", "libquantum"},
+		Instructions: 40_000,
+	}, stfm.FRFCFS, stfm.STFM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[stfm.STFM].Unfairness >= results[stfm.FRFCFS].Unfairness {
+		t.Errorf("STFM unfairness %.2f not below FR-FCFS %.2f",
+			results[stfm.STFM].Unfairness, results[stfm.FRFCFS].Unfairness)
+	}
+}
+
+func TestCompareDefaultsToAll(t *testing.T) {
+	results, err := stfm.Compare(stfm.Config{
+		Workload:     []string{"hmmer", "h264ref"},
+		Instructions: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(stfm.Schedulers()) {
+		t.Errorf("got %d results, want all %d schedulers", len(results), len(stfm.Schedulers()))
+	}
+}
+
+func TestWeights(t *testing.T) {
+	runner := stfm.NewRunner(60_000, 1)
+	flat, err := runner.Run(stfm.Config{
+		Scheduler: stfm.STFM,
+		Workload:  []string{"libquantum", "cactusADM", "astar", "omnetpp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := runner.Run(stfm.Config{
+		Scheduler: stfm.STFM,
+		Workload:  []string{"libquantum", "cactusADM", "astar", "omnetpp"},
+		Weights:   []float64{1, 16, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The weighted cactusADM must be slowed less than without weights.
+	if weighted.Threads[1].Slowdown >= flat.Threads[1].Slowdown {
+		t.Errorf("weight 16 did not protect cactusADM: %.2f vs flat %.2f",
+			weighted.Threads[1].Slowdown, flat.Threads[1].Slowdown)
+	}
+}
+
+func TestBenchmarks(t *testing.T) {
+	bs := stfm.Benchmarks()
+	if len(bs) != 30 {
+		t.Fatalf("got %d benchmarks, want 30 (26 SPEC + 4 desktop)", len(bs))
+	}
+	desktop := 0
+	for _, b := range bs {
+		if b.Name == "" || b.MPKI <= 0 {
+			t.Errorf("malformed benchmark %+v", b)
+		}
+		if b.Desktop {
+			desktop++
+		}
+	}
+	if desktop != 4 {
+		t.Errorf("%d desktop benchmarks, want 4", desktop)
+	}
+}
+
+func TestSchedulers(t *testing.T) {
+	s := stfm.Schedulers()
+	if len(s) != 5 || s[0] != stfm.FRFCFS || s[4] != stfm.STFM {
+		t.Errorf("Schedulers() = %v", s)
+	}
+}
+
+func TestPARBSExtension(t *testing.T) {
+	res, err := stfm.Run(stfm.Config{
+		Scheduler:    stfm.PARBS,
+		Workload:     []string{"mcf", "libquantum"},
+		Instructions: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != stfm.PARBS || len(res.Threads) != 2 {
+		t.Errorf("unexpected result %+v", res)
+	}
+}
