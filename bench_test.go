@@ -369,6 +369,53 @@ func BenchmarkAblationCap(b *testing.B) {
 	b.ReportMetric(vals[2], "unfairness-cap16")
 }
 
+// steppingRun executes the stepping benchmark workload — a sparse
+// low-MPKI pair (both from the paper's "not intensive" class, with
+// serial low-row-hit misses) in which the vast majority of CPU cycles
+// are dead: both cores stalled on a dependent miss while the controller
+// waits out tRCD/tCL/tRP on an otherwise idle channel. This is the
+// workload shape event-driven stepping exists for; the dense/event pair
+// below is the perf trajectory recorded in BENCH_stepping.json by
+// cmd/stfm-bench.
+func steppingRun(b *testing.B, dense bool) int64 {
+	b.Helper()
+	profs, err := experiments.Profiles("astar", "omnetpp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(sim.PolicyFRFCFS, len(profs))
+	cfg.InstrTarget = benchInstrs
+	cfg.MinMisses = 60
+	cfg.DenseTick = dense
+	res, err := sim.Run(cfg, profs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.TotalCycles
+}
+
+// BenchmarkSteppingDense measures the dense per-cycle tick loop on the
+// sparse workload (the pre-refactor behavior, kept behind
+// Config.DenseTick).
+func BenchmarkSteppingDense(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cycles += steppingRun(b, true)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkSteppingEvent measures event-driven stepping (the default)
+// on the same workload; the ratio to BenchmarkSteppingDense is the
+// refactor's payoff.
+func BenchmarkSteppingEvent(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cycles += steppingRun(b, false)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed:
 // CPU-cycles simulated per second on a 4-core STFM run.
 func BenchmarkSimulatorThroughput(b *testing.B) {

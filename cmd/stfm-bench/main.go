@@ -1,0 +1,118 @@
+// Command stfm-bench measures the simulator's stepping performance:
+// it runs the same workload under dense per-cycle ticking and under
+// event-driven stepping, verifies the results are bit-identical, and
+// writes the wall-clock comparison to a JSON file (BENCH_stepping.json
+// by convention) so successive PRs have a perf trajectory to compare
+// against.
+//
+// Usage:
+//
+//	stfm-bench [-mix mcf,h264ref] [-policy FR-FCFS] [-instrs 100000] \
+//	           [-minmisses 150] [-repeat 3] [-o BENCH_stepping.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"time"
+
+	"stfm/internal/experiments"
+	"stfm/internal/sim"
+)
+
+type report struct {
+	// Workload identification.
+	Mix    []string       `json:"mix"`
+	Policy sim.PolicyKind `json:"policy"`
+	Instrs int64          `json:"instr_target"`
+	Cycles int64          `json:"cycles_simulated"`
+	// Wall-clock results (best of -repeat runs, like testing.B).
+	DenseNs int64 `json:"dense_ns"`
+	EventNs int64 `json:"event_ns"`
+	// Derived throughput and the headline ratio.
+	DenseCyclesPerSec float64 `json:"dense_cycles_per_sec"`
+	EventCyclesPerSec float64 `json:"event_cycles_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	// ResultsIdentical records the built-in differential check: the
+	// dense and event runs produced field-for-field equal Results.
+	ResultsIdentical bool `json:"results_identical"`
+}
+
+func main() {
+	mixFlag := flag.String("mix", "astar,omnetpp", "comma-separated benchmark names")
+	policyFlag := flag.String("policy", string(sim.PolicyFRFCFS), "scheduling policy")
+	instrs := flag.Int64("instrs", 100_000, "per-thread instruction target")
+	minMisses := flag.Int64("minmisses", 150, "minimum DRAM misses per thread")
+	repeat := flag.Int("repeat", 3, "timed repetitions per mode (best is reported)")
+	out := flag.String("o", "BENCH_stepping.json", "output JSON path")
+	flag.Parse()
+
+	if *repeat < 1 {
+		fatal(fmt.Errorf("-repeat must be at least 1, got %d", *repeat))
+	}
+	names := strings.Split(*mixFlag, ",")
+	profiles, err := experiments.Profiles(names...)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig(sim.PolicyKind(*policyFlag), len(profiles))
+	cfg.InstrTarget = *instrs
+	cfg.MinMisses = *minMisses
+
+	run := func(dense bool) (*sim.Result, time.Duration) {
+		c := cfg
+		c.DenseTick = dense
+		best := time.Duration(1<<63 - 1)
+		var res *sim.Result
+		for i := 0; i < *repeat; i++ {
+			start := time.Now()
+			r, err := sim.Run(c, profiles)
+			if err != nil {
+				fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			res = r
+		}
+		return res, best
+	}
+
+	denseRes, denseT := run(true)
+	eventRes, eventT := run(false)
+
+	rep := report{
+		Mix:               names,
+		Policy:            cfg.Policy,
+		Instrs:            cfg.InstrTarget,
+		Cycles:            eventRes.TotalCycles,
+		DenseNs:           denseT.Nanoseconds(),
+		EventNs:           eventT.Nanoseconds(),
+		DenseCyclesPerSec: float64(denseRes.TotalCycles) / denseT.Seconds(),
+		EventCyclesPerSec: float64(eventRes.TotalCycles) / eventT.Seconds(),
+		Speedup:           denseT.Seconds() / eventT.Seconds(),
+		ResultsIdentical:  reflect.DeepEqual(denseRes, eventRes),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: dense %v, event %v (%.2fx), %d cycles, identical=%v\n",
+		strings.Join(names, "+"), denseT, eventT, rep.Speedup, rep.Cycles, rep.ResultsIdentical)
+	if !rep.ResultsIdentical {
+		fatal(fmt.Errorf("dense and event-driven results diverged"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stfm-bench:", err)
+	os.Exit(1)
+}

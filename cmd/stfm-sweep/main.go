@@ -7,6 +7,7 @@
 //
 //	stfm-sweep -knob alpha -workload mcf,libquantum,GemsFDTD,astar
 //	stfm-sweep -knob banks -policies FR-FCFS,STFM
+//	stfm-sweep -knob channels -policies all
 //	stfm-sweep -knob cores
 package main
 
@@ -27,7 +28,7 @@ func main() {
 	var (
 		knob     = flag.String("knob", "alpha", "what to sweep: alpha, banks, rowbuffer, channels, cores, cap")
 		workload = flag.String("workload", "mcf,libquantum,GemsFDTD,astar", "comma-separated benchmarks")
-		policies = flag.String("policies", "", "schedulers to include (default depends on knob)")
+		policies = flag.String("policies", "", `schedulers to include, or "all" for every implemented policy including the PAR-BS and TCM extensions (default depends on knob)`)
 		instrs   = flag.Int64("instrs", 200_000, "per-thread instruction budget")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 	)
@@ -35,7 +36,9 @@ func main() {
 
 	names := strings.Split(*workload, ",")
 	var pols []sim.PolicyKind
-	if *policies != "" {
+	if *policies == "all" {
+		pols = sim.ExtendedPolicies()
+	} else if *policies != "" {
 		for _, p := range strings.Split(*policies, ",") {
 			pols = append(pols, sim.PolicyKind(strings.TrimSpace(p)))
 		}

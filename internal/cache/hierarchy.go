@@ -173,8 +173,13 @@ func (h *Hierarchy) complete(at int64, done func(now int64)) {
 }
 
 // Tick delivers due cache-hit completions and retries writebacks that
-// found the DRAM write buffer full.
-func (h *Hierarchy) Tick(now int64) {
+// found the DRAM write buffer full. It returns the hierarchy's event
+// horizon: the earliest cycle a scheduled completion comes due, or
+// Horizon when none is pending. Blocked writebacks do not contribute —
+// the write buffer only drains on controller events, which the
+// controller's own horizon tracks, and a failed retry is side-effect
+// free.
+func (h *Hierarchy) Tick(now int64) int64 {
 	for i := 0; i < len(h.completions); {
 		c := h.completions[i]
 		if c.at > now {
@@ -191,4 +196,23 @@ func (h *Hierarchy) Tick(now int64) {
 		}
 		h.pendingWB = h.pendingWB[1:]
 	}
+	return h.NextEventAt()
+}
+
+// Horizon is the "no event scheduled" sentinel returned when the
+// hierarchy has no pending completion. The value matches dram.Horizon.
+const Horizon = int64(1) << 62
+
+// NextEventAt returns the earliest pending completion time, or Horizon.
+// The simulation queries it after ticking the cores, because cores
+// schedule new cache-hit completions during their own tick — after
+// this hierarchy's Tick for the cycle has already returned.
+func (h *Hierarchy) NextEventAt() int64 {
+	next := int64(Horizon)
+	for i := range h.completions {
+		if h.completions[i].at < next {
+			next = h.completions[i].at
+		}
+	}
+	return next
 }

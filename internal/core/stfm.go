@@ -256,6 +256,15 @@ func (s *STFM) BeginCycle(now int64) {
 	}
 }
 
+// NextPolicyEvent implements memctrl.EventPolicy. STFM does per-cycle
+// work in BeginCycle — the totalCycles/fairnessCycles accounting behind
+// FairnessModeFraction, slowdown recomputation from the live Tshared
+// counters, and the interval reset — so it must observe every DRAM
+// clock edge: it requests the very next cycle and the controller rounds
+// up to its next edge. Event-driven stepping therefore still skips the
+// CPU cycles between edges under STFM, but never an edge itself.
+func (s *STFM) NextPolicyEvent(now int64) int64 { return now + 1 }
+
 func (s *STFM) resetInterval(now int64) {
 	for i := 0; i < s.numThreads; i++ {
 		s.tsharedBase[i] = s.tshared(i)
@@ -439,4 +448,7 @@ func (s *STFM) OnSchedule(_ int64, chosen *memctrl.Candidate, ready []memctrl.Ca
 	}
 }
 
-var _ memctrl.Policy = (*STFM)(nil)
+var (
+	_ memctrl.Policy      = (*STFM)(nil)
+	_ memctrl.EventPolicy = (*STFM)(nil)
+)

@@ -15,6 +15,13 @@ package cpu
 
 import "stfm/internal/trace"
 
+// Horizon is the "no self-scheduled event" sentinel a core returns from
+// Tick when it cannot make progress on its own: every state change it
+// is waiting for (a DRAM fill, a cache-hit completion, a write buffer
+// draining) arrives through an external component whose own horizon
+// bounds the simulation jump. The value matches dram.Horizon.
+const Horizon = int64(1) << 62
+
 // Memory is the port a core uses to access its memory hierarchy. It is
 // implemented by cache.Hierarchy (cache mode) and by the simulation
 // engine's direct DRAM port (miss-stream mode).
@@ -76,6 +83,14 @@ type Core struct {
 	// unissued holds window entries whose loads are waiting on a
 	// dependence-chain predecessor or on memory-port resources.
 	unissued []*winEntry
+	// storeBlocked records that the current writeback was rejected by
+	// the memory port this cycle; it can only be accepted again after an
+	// external event, so the core does not self-schedule a retry.
+	storeBlocked bool
+	// fetchedMem records that fetch placed a memory instruction into
+	// the window this cycle; issueLoads runs before fetch, so the entry
+	// gets its first issue attempt next cycle and the core must wake.
+	fetchedMem bool
 	// chainBusy counts outstanding loads per dependence chain; a
 	// dependent load issues only when its chain drains to zero.
 	chainBusy []int
@@ -140,16 +155,22 @@ func (c *Core) MCPI() float64 {
 
 // Tick advances the core by one CPU cycle: commit first (so completed
 // loads retire with their completion-cycle timing), then issue loads
-// whose dependences have resolved, then fetch.
-func (c *Core) Tick(now int64) {
+// whose dependences have resolved, then fetch. It returns the next
+// cycle the core can make progress on its own — now+1 when it can
+// commit, issue or fetch next cycle, Horizon when it is fully stalled
+// on external events (DRAM fills, cache completions, back-pressured
+// buffers). Ticking the core on cycles it did not ask for is always
+// safe; failing to tick it at its reported cycle is not.
+func (c *Core) Tick(now int64) int64 {
 	c.cycles++
+	c.fetchedMem = false
 	committed := c.commit()
 	c.issueLoads(now)
 	c.fetch(now)
 	if committed == 0 {
 		hasWork := len(c.window) > 0 || c.fetching || !c.streamDone
 		if !hasWork {
-			return
+			return Horizon
 		}
 		c.stallAny++
 		if len(c.window) > 0 {
@@ -159,6 +180,65 @@ func (c *Core) Tick(now int64) {
 				// returned: a Tshared stall cycle.
 				c.memStall++
 			}
+		}
+	}
+	return c.nextEvent(now)
+}
+
+// nextEvent reports, from post-tick state, whether the core can act at
+// now+1 without any external event. Cases that need an external wake —
+// an unissued load whose port or dependence must clear, a rejected
+// writeback, a full window behind an in-flight miss — return Horizon:
+// the completion that unblocks them is tracked by the controller or the
+// cache hierarchy, whose horizons bound the simulation jump.
+func (c *Core) nextEvent(now int64) int64 {
+	if len(c.window) > 0 {
+		head := c.window[0]
+		if head.compute > 0 || (head.hasMem && head.memDone) {
+			return now + 1 // commit can retire next cycle
+		}
+	}
+	if c.fetchedMem {
+		return now + 1 // first issue attempt for the new load
+	}
+	if c.fetching {
+		if c.curAccess.Kind == trace.Write && c.gapLeft == 0 {
+			if c.storeBlocked {
+				return Horizon // write path backed up; external drain
+			}
+			return now + 1 // fetch budget ran out before the store
+		}
+		if c.occupancy < c.cfg.WindowSize {
+			return now + 1 // room to fetch compute or the memory op
+		}
+		return Horizon // window full behind a blocked head
+	}
+	if !c.streamDone {
+		return now + 1 // fetch pulls the next trace access
+	}
+	return Horizon
+}
+
+// AdvanceIdle accounts k cycles during which the simulation proved the
+// core cannot act (Tick returned Horizon and no external completion
+// fired). It applies exactly the per-cycle bookkeeping a dense Tick
+// performs on such cycles: the cycle counter always advances, and the
+// stall counters advance when there is in-flight work, with a Tshared
+// memory-stall cycle when the head is an incomplete L2 miss. The
+// head's classification cannot change during the window — completions
+// only fire at ticked cycles — so bulk accounting is bit-identical to
+// k dense ticks.
+func (c *Core) AdvanceIdle(k int64) {
+	c.cycles += k
+	hasWork := len(c.window) > 0 || c.fetching || !c.streamDone
+	if !hasWork {
+		return
+	}
+	c.stallAny += k
+	if len(c.window) > 0 {
+		head := c.window[0]
+		if head.compute == 0 && head.hasMem && !head.memDone && head.l2Miss {
+			c.memStall += k
 		}
 	}
 }
@@ -208,6 +288,7 @@ func (c *Core) popHead() {
 // fetch brings up to Width instructions into the window, issuing
 // memory accesses as their instructions enter.
 func (c *Core) fetch(now int64) {
+	c.storeBlocked = false
 	budget := c.cfg.Width
 	for budget > 0 {
 		if !c.fetching {
@@ -223,7 +304,8 @@ func (c *Core) fetch(now int64) {
 		// Writebacks are not instructions: submit and move on.
 		if c.curAccess.Kind == trace.Write && c.gapLeft == 0 {
 			if !c.mem.Store(now, c.curAccess.LineAddr) {
-				return // write path backed up; retry next cycle
+				c.storeBlocked = true
+				return // write path backed up; retry after an external event
 			}
 			c.fetching = false
 			continue
@@ -254,6 +336,7 @@ func (c *Core) fetch(now int64) {
 		entry.chain = c.curAccess.Chain
 		entry.dep = c.curAccess.Dep
 		c.unissued = append(c.unissued, entry)
+		c.fetchedMem = true
 		c.occupancy++
 		budget = 0 // one memory op ends the fetch group
 		c.fetching = false

@@ -2,6 +2,12 @@ package dram
 
 import "fmt"
 
+// Horizon is the "no event scheduled" sentinel returned by the
+// next-event queries of the stepping protocol: a cycle far enough in
+// the future that it never bounds a simulation jump, yet far from
+// int64 overflow when offsets are added to it.
+const Horizon = int64(1) << 62
+
 // Stats accumulates per-channel event counts for reporting and tests.
 type Stats struct {
 	Activates   int64
@@ -162,6 +168,49 @@ func (c *Channel) CanIssue(cmd Command, now int64) bool {
 		return now >= c.readBurstEnd+c.timing.RTW-c.timing.CL
 	}
 	return false
+}
+
+// NextReady returns the earliest cycle >= now at which cmd would
+// satisfy every bank and data-bus timing constraint, assuming no other
+// command issues in the meantime. It is the time-query mirror of
+// CanIssue — for any t >= now, CanIssue(cmd, t) holds iff
+// t >= NextReady(cmd, now) — and is what lets the controller report an
+// event horizon instead of polling CanIssue every DRAM cycle. cmd must
+// be the command NextCommand currently returns for its bank (the
+// bank-state precondition of CanIssue).
+func (c *Channel) NextReady(cmd Command, now int64) int64 {
+	b := &c.banks[cmd.Bank]
+	at := now
+	switch cmd.Kind {
+	case CmdActivate:
+		at = max(at, b.actReadyAt)
+		// tRRD against the most recent activate on the rank.
+		at = max(at, c.actTimes[(c.actNext+3)%4]+c.timing.RRD)
+		// tFAW: the fourth-last activate must be at least FAW old.
+		at = max(at, c.actTimes[c.actNext]+c.timing.FAW)
+	case CmdPrecharge:
+		at = max(at, b.preReadyAt)
+	case CmdRead, CmdWrite:
+		at = max(at, b.colReadyAt)
+		// The burst window [at+CL, at+CL+BL) must start at or after
+		// dataBusFreeAt.
+		at = max(at, c.dataBusFreeAt-c.timing.CL)
+		if cmd.Kind == CmdRead {
+			at = max(at, c.writeRecoveryEnd)
+		} else {
+			at = max(at, c.readBurstEnd+c.timing.RTW-c.timing.CL)
+		}
+	}
+	return at
+}
+
+// NextRefresh returns the cycle of the next all-bank auto-refresh
+// deadline, or Horizon when refresh is disabled.
+func (c *Channel) NextRefresh() int64 {
+	if c.timing.REFI <= 0 {
+		return Horizon
+	}
+	return c.nextRefreshAt
 }
 
 // Issue executes cmd at cycle now. For column accesses it returns the

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"stfm/internal/sim"
+)
+
+// TestEquivalence is the differential test behind the event-driven
+// stepping refactor: for every workload × policy pair it runs the
+// identical simulation under dense per-cycle ticking and under
+// event-driven time advancement and requires the *entire* Result —
+// per-thread cycles, instructions, MCPI, row-hit rates, latency
+// percentiles, bus utilization, STFM unfairness and fairness-mode
+// fraction — to match field for field. Event-driven stepping is only
+// allowed to skip cycles it can prove are dead, so any divergence here
+// is a bug in a component's reported horizon, not acceptable noise.
+func TestEquivalence(t *testing.T) {
+	t.Parallel()
+	workloads := []struct {
+		name  string
+		mix   []string
+		cache bool
+	}{
+		// Figure 6's case-study mix: two intensive threads (one
+		// low-RB-hit, one streaming) against two non-intensive ones.
+		{"fig6-4core", []string{"mcf", "libquantum", "GemsFDTD", "astar"}, false},
+		// A 2-thread mix pairing the most intensive benchmark with a
+		// bursty, sparse one — the workload shape with the most dead
+		// cycles, i.e. the most opportunity for a skipping bug.
+		{"2thread-sparse", []string{"mcf", "h264ref"}, false},
+		// Full L1/L2 hierarchy mode: cache-hit completions and
+		// writeback retries take different event paths than the direct
+		// miss-stream port.
+		{"2thread-caches", []string{"mcf", "dealII"}, true},
+	}
+	policies := []sim.PolicyKind{
+		sim.PolicyFRFCFS,
+		sim.PolicySTFM,
+		sim.PolicyNFQ,
+		sim.PolicyTCM,
+	}
+	for _, wl := range workloads {
+		for _, pol := range policies {
+			wl, pol := wl, pol
+			t.Run(wl.name+"/"+string(pol), func(t *testing.T) {
+				t.Parallel()
+				profiles, err := Profiles(wl.mix...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := sim.DefaultConfig(pol, len(profiles))
+				cfg.InstrTarget = 20_000
+				cfg.MinMisses = 40
+				cfg.UseCaches = wl.cache
+
+				cfg.DenseTick = true
+				dense, err := sim.Run(cfg, profiles)
+				if err != nil {
+					t.Fatalf("dense run: %v", err)
+				}
+				cfg.DenseTick = false
+				event, err := sim.Run(cfg, profiles)
+				if err != nil {
+					t.Fatalf("event run: %v", err)
+				}
+				if !reflect.DeepEqual(dense, event) {
+					t.Errorf("dense and event-driven results diverge\ndense: %+v\nevent: %+v", dense, event)
+				}
+			})
+		}
+	}
+}
+
+// TestEquivalenceTruncated pins down the MaxCycles corner: when a run
+// is cut off mid-flight, the event-driven engine must clamp its final
+// jump so truncated threads freeze at exactly the same cycle — with
+// exactly the same bulk-accounted stall counters — as under dense
+// ticking.
+func TestEquivalenceTruncated(t *testing.T) {
+	t.Parallel()
+	profiles, err := Profiles("mcf", "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(sim.PolicyFRFCFS, len(profiles))
+	cfg.InstrTarget = 50_000
+	cfg.MaxCycles = 123_457 // deliberately not a DRAM-edge multiple
+
+	cfg.DenseTick = true
+	dense, err := sim.Run(cfg, profiles)
+	if err != nil {
+		t.Fatalf("dense run: %v", err)
+	}
+	cfg.DenseTick = false
+	event, err := sim.Run(cfg, profiles)
+	if err != nil {
+		t.Fatalf("event run: %v", err)
+	}
+	if !reflect.DeepEqual(dense, event) {
+		t.Errorf("truncated dense and event-driven results diverge\ndense: %+v\nevent: %+v", dense, event)
+	}
+	for _, th := range dense.Threads {
+		if !th.Truncated {
+			t.Errorf("%s: expected a truncated thread under MaxCycles=%d", th.Benchmark, cfg.MaxCycles)
+		}
+	}
+}

@@ -119,6 +119,14 @@ type Controller struct {
 	// CommandTrace, if non-nil, receives every issued command (used by
 	// tests and the trace inspection tool).
 	CommandTrace func(now int64, ch int, cmd dram.Command, req *Request)
+
+	// nextWake is the earliest CPU cycle at which the controller can do
+	// observable work: always a DRAM clock edge (or dram.Horizon when
+	// fully idle). Tick recomputes it on every edge it processes;
+	// EnqueueRead/EnqueueWrite pull it forward to the next edge so new
+	// arrivals are scheduled exactly when a dense-ticked controller
+	// would first see them.
+	nextWake int64
 }
 
 // NewController builds a controller over freshly initialized DRAM
@@ -198,6 +206,7 @@ func (c *Controller) EnqueueRead(now int64, thread int, lineAddr uint64, onCompl
 	c.reads[r.Loc.Channel] = append(c.reads[r.Loc.Channel], r)
 	c.queuedReads++
 	c.queuedPerThr[thread]++
+	c.wakeAtNextEdge(now)
 	return true
 }
 
@@ -210,6 +219,7 @@ func (c *Controller) EnqueueWrite(now int64, thread int, lineAddr uint64) bool {
 	r := c.newRequest(now, thread, lineAddr, true)
 	c.writes[r.Loc.Channel] = append(c.writes[r.Loc.Channel], r)
 	c.queuedWrites++
+	c.wakeAtNextEdge(now)
 	return true
 }
 
@@ -227,17 +237,105 @@ func (c *Controller) newRequest(now int64, thread int, lineAddr uint64, isWrite 
 
 // Tick advances the controller to CPU cycle now. The controller acts
 // only on DRAM command-clock edges (every CPUCyclesPerDRAMCycle CPU
-// cycles); calling it every CPU cycle is fine and cheap.
-func (c *Controller) Tick(now int64) {
+// cycles); calling it every CPU cycle is fine and cheap. It returns
+// the next CPU cycle at which the controller can do observable work
+// (always a DRAM edge, or dram.Horizon when idle): event-driven
+// callers skip calls before then, dense callers ignore the value.
+func (c *Controller) Tick(now int64) int64 {
 	if now%c.cfg.Timing.CPUCyclesPerDRAMCycle != 0 {
-		return
+		return c.nextWake
 	}
 	c.completeFinished(now)
 	c.policy.BeginCycle(now)
+	next := dram.Horizon
 	for ch := range c.channels {
 		c.channels[ch].MaybeRefresh(now)
-		c.scheduleChannel(ch, now)
+		if c.scheduleChannel(ch, now) {
+			// One command per channel per DRAM cycle: having issued,
+			// the channel may have more ready work next edge.
+			next = min(next, c.nextEdge(now))
+		} else if h := c.channelHorizon(ch, now); h < next {
+			next = h
+		}
 	}
+	// Wake for the earliest in-flight completion, pending refresh
+	// deadline, and any time-driven policy work.
+	for _, r := range c.inFlight {
+		next = min(next, c.edgeCeil(r.CompleteAt))
+	}
+	for _, ch := range c.channels {
+		if at := ch.NextRefresh(); at < dram.Horizon {
+			next = min(next, c.edgeCeil(at))
+		}
+	}
+	if ep, ok := c.policy.(EventPolicy); ok {
+		if at := ep.NextPolicyEvent(now); at < dram.Horizon {
+			next = min(next, c.edgeCeil(at))
+		}
+	}
+	// The controller already acted on this edge; nothing further can
+	// become observable before the next one.
+	if next < dram.Horizon {
+		next = max(next, c.nextEdge(now))
+	}
+	c.nextWake = next
+	return next
+}
+
+// NextTickAt returns the earliest CPU cycle at which calling Tick can
+// have an effect. It must be re-read after any Enqueue call: arrivals
+// pull the wake-up forward.
+func (c *Controller) NextTickAt() int64 { return c.nextWake }
+
+// wakeAtNextEdge pulls nextWake forward to the first DRAM edge after
+// now (enqueues happen mid-cycle, after this cycle's edge work ran).
+func (c *Controller) wakeAtNextEdge(now int64) {
+	if e := c.nextEdge(now); e < c.nextWake {
+		c.nextWake = e
+	}
+}
+
+// nextEdge returns the first DRAM clock edge strictly after now.
+func (c *Controller) nextEdge(now int64) int64 {
+	p := c.cfg.Timing.CPUCyclesPerDRAMCycle
+	return now - now%p + p
+}
+
+// edgeCeil returns the first DRAM clock edge at or after t — the cycle
+// a dense-ticked controller would first observe an event at time t.
+func (c *Controller) edgeCeil(t int64) int64 {
+	p := c.cfg.Timing.CPUCyclesPerDRAMCycle
+	if r := t % p; r != 0 {
+		t += p - r
+	}
+	return t
+}
+
+// channelHorizon returns the earliest DRAM edge at which any of the
+// channel's candidate requests could have a ready command, assuming no
+// intervening event — the controller's wake-up when an edge ends with
+// no command issued on the channel. It mirrors scheduleChannel's
+// candidate eligibility (writes count only while draining or when no
+// reads wait) but deliberately ignores arbitration: a lower-priority
+// candidate becoming ready wakes the controller even if it then loses
+// — a conservative, and therefore exact, horizon.
+func (c *Controller) channelHorizon(ch int, now int64) int64 {
+	channel := c.channels[ch]
+	next := dram.Horizon
+	for _, r := range c.reads[ch] {
+		cmd := channel.NextCommand(r.Loc.Bank, r.Loc.Row, false)
+		next = min(next, channel.NextReady(cmd, now))
+	}
+	if c.draining[ch] || len(c.reads[ch]) == 0 {
+		for _, r := range c.writes[ch] {
+			cmd := channel.NextCommand(r.Loc.Bank, r.Loc.Row, true)
+			next = min(next, channel.NextReady(cmd, now))
+		}
+	}
+	if next >= dram.Horizon {
+		return dram.Horizon
+	}
+	return c.edgeCeil(next)
 }
 
 func (c *Controller) completeFinished(now int64) {
@@ -272,8 +370,8 @@ func (c *Controller) completeFinished(now int64) {
 // not fall through to a lower-priority request just because the
 // winner's command must wait a few cycles), and the across-bank channel
 // scheduler then picks the highest-priority ready command among the
-// per-bank winners.
-func (c *Controller) scheduleChannel(ch int, now int64) {
+// per-bank winners. It reports whether a command was issued.
+func (c *Controller) scheduleChannel(ch int, now int64) bool {
 	cands := c.scratch[:0]
 	channel := c.channels[ch]
 
@@ -306,7 +404,7 @@ func (c *Controller) scheduleChannel(ch int, now int64) {
 	}
 	c.scratch = cands[:0]
 	if len(cands) == 0 {
-		return
+		return false
 	}
 	if bp, ok := c.policy.(BatchPolicy); ok {
 		bp.PrepareCycle(ch, now, cands)
@@ -350,9 +448,10 @@ func (c *Controller) scheduleChannel(ch int, now int64) {
 		}
 	}
 	if best == nil {
-		return
+		return false
 	}
 	c.issue(ch, now, best, cands)
+	return true
 }
 
 // better implements the read-over-write rule of Table 2 ("reads
@@ -498,12 +597,21 @@ func (c *Controller) QueuedBanks(thread int) int {
 
 // Drain runs the controller forward (from CPU cycle start) until all
 // buffered requests complete, returning the cycle after the last
-// completion. It is a test/tool convenience, not used in simulation.
+// completion. It advances event-driven, jumping between the wake-ups
+// Tick reports. It is a test/tool convenience, not used in simulation.
 func (c *Controller) Drain(start int64) int64 {
 	now := start
 	for c.queuedReads > 0 || c.queuedWrites > 0 || len(c.inFlight) > 0 {
-		c.Tick(now)
+		next := c.Tick(now)
 		now++
+		if next >= dram.Horizon {
+			// Queued work with no horizon would be a scheduler bug;
+			// keep stepping densely so tests fail loudly, not hang.
+			continue
+		}
+		if next > now {
+			now = next
+		}
 	}
 	return now
 }

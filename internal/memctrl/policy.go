@@ -69,6 +69,20 @@ type BatchPolicy interface {
 	PrepareCycle(channel int, now int64, waiting []Candidate)
 }
 
+// EventPolicy is an optional extension interface for policies whose
+// BeginCycle does time-driven work of its own — per-cycle fairness
+// accounting (STFM), quantum-boundary reclustering (TCM) — rather than
+// reacting only to enqueue/issue/complete events. NextPolicyEvent
+// returns the next CPU cycle at which the policy must observe a DRAM
+// clock edge; the controller folds it (rounded up to an edge) into the
+// horizon it reports, so event-driven stepping never skips an edge the
+// policy needed. It is called after BeginCycle on a ticked edge, so
+// implementations report from up-to-date state. Policies that react
+// purely to scheduling events need not implement it.
+type EventPolicy interface {
+	NextPolicyEvent(now int64) int64
+}
+
 // View is the read-only controller interface given to policies that
 // need global request-buffer state (STFM's bank-parallelism registers).
 type View interface {

@@ -83,6 +83,16 @@ func (t *TCM) BeginCycle(now int64) {
 	}
 }
 
+// NextPolicyEvent implements memctrl.EventPolicy: the controller must
+// tick TCM at its quantum boundaries even when the memory system is
+// idle, because BeginCycle's shuffle counter advances once per boundary
+// *crossing* — a controller that slept through two shuffle quanta and
+// then called BeginCycle once would rotate the bandwidth-cluster ranks
+// once instead of twice, diverging from the dense-tick schedule.
+func (t *TCM) NextPolicyEvent(int64) int64 {
+	return min(t.nextCluster, t.nextShuffle)
+}
+
 // recluster classifies threads by last-quantum service counts.
 func (t *TCM) recluster() {
 	order := make([]int, t.threads)
@@ -159,4 +169,7 @@ func (t *TCM) OnSchedule(_ int64, chosen *memctrl.Candidate, _ []memctrl.Candida
 	}
 }
 
-var _ memctrl.Policy = (*TCM)(nil)
+var (
+	_ memctrl.Policy      = (*TCM)(nil)
+	_ memctrl.EventPolicy = (*TCM)(nil)
+)

@@ -42,6 +42,13 @@ func AllPolicies() []PolicyKind {
 	return []PolicyKind{PolicyFRFCFS, PolicyFCFS, PolicyFRFCFSCap, PolicyNFQ, PolicySTFM}
 }
 
+// ExtendedPolicies lists every implemented scheduler: the paper's five
+// plus the follow-up schedulers (PAR-BS, TCM) that exist in the
+// codebase but are not part of the paper's comparisons.
+func ExtendedPolicies() []PolicyKind {
+	return append(AllPolicies(), PolicyPARBS, PolicyTCM)
+}
+
 // Config parameterizes one simulation run.
 type Config struct {
 	// Policy selects the DRAM scheduler.
@@ -95,6 +102,13 @@ type Config struct {
 	// workload size; profiles are then used only for labeling and the
 	// MinMisses window scaling.
 	Streams []trace.Stream
+	// DenseTick disables event-driven time advancement: Run ticks every
+	// component on every CPU cycle instead of jumping over cycles in
+	// which no component can act. The schedules are bit-identical (the
+	// equivalence tests in internal/experiments assert it); the flag
+	// exists as the differential-testing escape hatch and for debugging
+	// with per-cycle traces.
+	DenseTick bool
 }
 
 // DefaultConfig returns a baseline configuration for the given policy
@@ -321,15 +335,34 @@ func (s *System) STFM() *core.STFM { return s.stfm }
 // Now returns the current CPU cycle.
 func (s *System) Now() int64 { return s.now }
 
+// horizon is the shared "no event" sentinel (dram.Horizon, cpu.Horizon
+// and cache.Horizon all have this value).
+const horizon = int64(1) << 62
+
 // Tick advances the whole system one CPU cycle.
-func (s *System) Tick() {
+func (s *System) Tick() { s.step() }
+
+// step advances the system one CPU cycle and returns the earliest
+// future cycle at which any component can act — the event horizon Run
+// jumps to when it exceeds the new current cycle. Order matters for
+// exactness: the controller fires completions first (done callbacks
+// update window entries before cores commit), hierarchies deliver
+// cache-hit completions next, cores run last; the controller's and
+// hierarchies' horizons are re-read after the cores run because core
+// activity (enqueues, cache hits) schedules new events for them.
+func (s *System) step() int64 {
 	now := s.now
-	s.ctrl.Tick(now)
+	if s.cfg.DenseTick || now >= s.ctrl.NextTickAt() {
+		s.ctrl.Tick(now)
+	}
 	for _, h := range s.hier {
 		h.Tick(now)
 	}
+	next := int64(horizon)
 	for i, c := range s.cores {
-		c.Tick(now)
+		if n := c.Tick(now); n < next {
+			next = n
+		}
 		if !s.frozen[i] && (c.Committed() >= s.targets[i] || c.Done()) {
 			// Reaching the instruction target — or draining a finite
 			// trace — ends the thread's measurement window.
@@ -337,6 +370,18 @@ func (s *System) Tick() {
 		}
 	}
 	s.now++
+	if s.cfg.DenseTick {
+		return s.now
+	}
+	if n := s.ctrl.NextTickAt(); n < next {
+		next = n
+	}
+	for _, h := range s.hier {
+		if n := h.NextEventAt(); n < next {
+			next = n
+		}
+	}
+	return next
 }
 
 // freeze snapshots thread i's measured window.
@@ -382,7 +427,23 @@ func (s *System) Run() (*Result, error) {
 		maxCycles = longest * 80
 	}
 	for s.now < maxCycles && !s.allFrozen() {
-		s.Tick()
+		next := s.step()
+		if next <= s.now || s.allFrozen() {
+			continue
+		}
+		// Every component is quiescent until next: jump there, bulk-
+		// accounting the cores' stall cycles for the skipped window.
+		// Clamping to maxCycles keeps truncated runs bit-identical to
+		// dense ticking (which would spin out the same dead cycles).
+		if next > maxCycles {
+			next = maxCycles
+		}
+		if k := next - s.now; k > 0 {
+			for _, c := range s.cores {
+				c.AdvanceIdle(k)
+			}
+			s.now = next
+		}
 	}
 	for i := range s.cores {
 		if !s.frozen[i] {
