@@ -18,6 +18,7 @@ import (
 	"stfm/internal/experiments"
 	"stfm/internal/metrics"
 	"stfm/internal/sim"
+	"stfm/internal/telemetry"
 	"stfm/internal/workloads"
 )
 
@@ -378,6 +379,10 @@ func BenchmarkAblationCap(b *testing.B) {
 // below is the perf trajectory recorded in BENCH_stepping.json by
 // cmd/stfm-bench.
 func steppingRun(b *testing.B, dense bool) int64 {
+	return steppingRunTel(b, dense, nil)
+}
+
+func steppingRunTel(b *testing.B, dense bool, col *telemetry.Collector) int64 {
 	b.Helper()
 	profs, err := experiments.Profiles("astar", "omnetpp")
 	if err != nil {
@@ -387,6 +392,7 @@ func steppingRun(b *testing.B, dense bool) int64 {
 	cfg.InstrTarget = benchInstrs
 	cfg.MinMisses = 60
 	cfg.DenseTick = dense
+	cfg.Telemetry = col
 	res, err := sim.Run(cfg, profs)
 	if err != nil {
 		b.Fatal(err)
@@ -412,6 +418,21 @@ func BenchmarkSteppingEvent(b *testing.B) {
 	var cycles int64
 	for i := 0; i < b.N; i++ {
 		cycles += steppingRun(b, false)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkSteppingEventTelemetry measures event-driven stepping with a
+// telemetry collector attached (interval sampling plus the command
+// ring); the ratio to BenchmarkSteppingEvent is the observability
+// layer's overhead when it is actually collecting. With telemetry off
+// the cost must stay at a nil check — compare BenchmarkSteppingEvent
+// against PR 1's BENCH_stepping.json for that invariant.
+func BenchmarkSteppingEventTelemetry(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		col := telemetry.New(telemetry.Options{SampleEvery: 1000, TraceCap: telemetry.DefaultTraceCap})
+		cycles += steppingRunTel(b, false, col)
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }

@@ -3,12 +3,17 @@
 // event-driven stepping, verifies the results are bit-identical, and
 // writes the wall-clock comparison to a JSON file (BENCH_stepping.json
 // by convention) so successive PRs have a perf trajectory to compare
-// against.
+// against. A third timed mode re-runs event-driven stepping with a
+// telemetry collector attached, measuring the observability layer's
+// overhead and verifying the instrumented schedule is still
+// bit-identical; -trace-out additionally saves that run's event ring
+// as a Chrome trace (the CI artifact).
 //
 // Usage:
 //
 //	stfm-bench [-mix mcf,h264ref] [-policy FR-FCFS] [-instrs 100000] \
-//	           [-minmisses 150] [-repeat 3] [-o BENCH_stepping.json]
+//	           [-minmisses 150] [-repeat 3] [-sample-every 1000] \
+//	           [-trace-out trace.json] [-o BENCH_stepping.json]
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"stfm/internal/experiments"
 	"stfm/internal/sim"
+	"stfm/internal/telemetry"
 )
 
 type report struct {
@@ -40,6 +46,18 @@ type report struct {
 	// ResultsIdentical records the built-in differential check: the
 	// dense and event runs produced field-for-field equal Results.
 	ResultsIdentical bool `json:"results_identical"`
+	// Telemetry overhead: event-driven stepping re-timed with a
+	// collector attached (sampling + event ring). TelemetryOverhead is
+	// telemetry_ns / event_ns; the untelemetered path must stay within
+	// noise of 1.0x of itself across PRs, and the telemetered run's
+	// Result must still be bit-identical (telemetry observes, never
+	// steers).
+	TelemetryNs               int64   `json:"telemetry_ns"`
+	TelemetryCyclesPerSec     float64 `json:"telemetry_cycles_per_sec"`
+	TelemetryOverhead         float64 `json:"telemetry_overhead"`
+	TelemetrySamples          int     `json:"telemetry_samples"`
+	TelemetryEvents           uint64  `json:"telemetry_events"`
+	TelemetryResultsIdentical bool    `json:"telemetry_results_identical"`
 }
 
 func main() {
@@ -49,6 +67,8 @@ func main() {
 	minMisses := flag.Int64("minmisses", 150, "minimum DRAM misses per thread")
 	repeat := flag.Int("repeat", 3, "timed repetitions per mode (best is reported)")
 	out := flag.String("o", "BENCH_stepping.json", "output JSON path")
+	sampleEvery := flag.Int64("sample-every", 1000, "telemetry sampling interval in DRAM cycles for the overhead run")
+	traceOut := flag.String("trace-out", "", "write the telemetered run's event ring as a Chrome trace")
 	flag.Parse()
 
 	if *repeat < 1 {
@@ -63,12 +83,18 @@ func main() {
 	cfg.InstrTarget = *instrs
 	cfg.MinMisses = *minMisses
 
-	run := func(dense bool) (*sim.Result, time.Duration) {
-		c := cfg
-		c.DenseTick = dense
+	run := func(dense, tel bool) (*sim.Result, *telemetry.Collector, time.Duration) {
 		best := time.Duration(1<<63 - 1)
 		var res *sim.Result
+		var col *telemetry.Collector
 		for i := 0; i < *repeat; i++ {
+			c := cfg
+			c.DenseTick = dense
+			if tel {
+				// Fresh collector per repetition so each timed run pays
+				// the same sampling and ring-recording work.
+				c.Telemetry = telemetry.New(telemetry.Options{SampleEvery: *sampleEvery, TraceCap: telemetry.DefaultTraceCap})
+			}
 			start := time.Now()
 			r, err := sim.Run(c, profiles)
 			if err != nil {
@@ -77,13 +103,14 @@ func main() {
 			if d := time.Since(start); d < best {
 				best = d
 			}
-			res = r
+			res, col = r, c.Telemetry
 		}
-		return res, best
+		return res, col, best
 	}
 
-	denseRes, denseT := run(true)
-	eventRes, eventT := run(false)
+	denseRes, _, denseT := run(true, false)
+	eventRes, _, eventT := run(false, false)
+	telRes, telCol, telT := run(false, true)
 
 	rep := report{
 		Mix:               names,
@@ -96,6 +123,13 @@ func main() {
 		EventCyclesPerSec: float64(eventRes.TotalCycles) / eventT.Seconds(),
 		Speedup:           denseT.Seconds() / eventT.Seconds(),
 		ResultsIdentical:  reflect.DeepEqual(denseRes, eventRes),
+
+		TelemetryNs:               telT.Nanoseconds(),
+		TelemetryCyclesPerSec:     float64(telRes.TotalCycles) / telT.Seconds(),
+		TelemetryOverhead:         telT.Seconds() / eventT.Seconds(),
+		TelemetrySamples:          telCol.Series.Len(),
+		TelemetryEvents:           telCol.Tracer.Total(),
+		TelemetryResultsIdentical: reflect.DeepEqual(eventRes, telRes),
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -105,10 +139,27 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s: dense %v, event %v (%.2fx), %d cycles, identical=%v\n",
-		strings.Join(names, "+"), denseT, eventT, rep.Speedup, rep.Cycles, rep.ResultsIdentical)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telCol.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%s: dense %v, event %v (%.2fx), telemetry %v (%.2fx overhead), %d cycles, identical=%v/%v\n",
+		strings.Join(names, "+"), denseT, eventT, rep.Speedup, telT, rep.TelemetryOverhead,
+		rep.Cycles, rep.ResultsIdentical, rep.TelemetryResultsIdentical)
 	if !rep.ResultsIdentical {
 		fatal(fmt.Errorf("dense and event-driven results diverged"))
+	}
+	if !rep.TelemetryResultsIdentical {
+		fatal(fmt.Errorf("attaching telemetry changed the simulation result"))
 	}
 }
 

@@ -6,17 +6,21 @@
 // Usage:
 //
 //	stfm-experiments [-run fig6,fig9] [-full] [-instrs 200000] [-seed 1]
+//	stfm-experiments -run fig6 -telemetry -telemetry-dir series/
+//	stfm-experiments -full -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"stfm/internal/experiments"
+	"stfm/internal/telemetry"
 )
 
 func main() {
@@ -26,18 +30,37 @@ func main() {
 		instrs = flag.Int64("instrs", 200_000, "per-thread instruction budget")
 		seed   = flag.Uint64("seed", 1, "workload generation seed")
 		outDir = flag.String("o", "", "also write each report to <dir>/<id>.txt")
+
+		useTel      = flag.Bool("telemetry", false, "attach a telemetry collector to every shared workload run")
+		sampleEvery = flag.Int64("sample-every", 1000, "telemetry sampling interval in DRAM cycles")
+		telDir      = flag.String("telemetry-dir", "", "write each run's time series as CSV into this directory (implies -telemetry)")
+		pprof       = flag.String("pprof", "", "serve net/http/pprof and periodic runtime metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *telDir != "" {
+		*useTel = true
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+	if *pprof != "" {
+		stop, err := telemetry.ServeProfiling(*pprof, 10*time.Second, log.New(os.Stderr, "stfm-experiments: ", 0).Printf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.InstrTarget = *instrs
 	opts.Seed = *seed
+	if *useTel {
+		opts.Telemetry = telemetry.Options{SampleEvery: *sampleEvery, TraceCap: telemetry.DefaultTraceCap}
+	}
 	runner := experiments.NewRunner(opts)
 
 	var list []experiments.Experiment
@@ -71,4 +94,40 @@ func main() {
 			}
 		}
 	}
+
+	if *useTel {
+		if err := dumpTelemetry(runner, *telDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpTelemetry summarizes the telemetry of every shared run and, when
+// dir is non-empty, writes each run's time series as CSV there.
+func dumpTelemetry(runner *experiments.Runner, dir string) error {
+	runs := runner.TimeSeries()
+	fmt.Printf("telemetry: %d shared runs recorded\n", len(runs))
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, rt := range runs {
+		name := fmt.Sprintf("%03d_%s_%s.csv", i, rt.Policy, strings.Join(rt.Benchmarks, "+"))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := rt.Collector.Series.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("telemetry: wrote %d series to %s\n", len(runs), dir)
+	return nil
 }

@@ -7,7 +7,16 @@
 //	stfm-sim -workload mcf,libquantum,GemsFDTD,astar -policy STFM
 //	stfm-sim -workload mcf,libquantum -policy NFQ -instrs 500000
 //	stfm-sim -workload desktop -policy FR-FCFS
+//	stfm-sim -telemetry -trace-out trace.json -series-out series.csv
 //	stfm-sim -list
+//
+// With -telemetry the run records an interval time series (per-thread
+// slowdown estimates, stall cycles, queue occupancy, bus utilization,
+// row-buffer outcomes) and a ring buffer of DRAM command and request
+// lifecycle events; -trace-out writes the events in Chrome trace_event
+// format (open in chrome://tracing or Perfetto), -trace-jsonl writes
+// them as JSON Lines, and -series-out writes the time series as CSV.
+// Giving any output flag implies -telemetry.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"stfm/internal/dram"
 	"stfm/internal/experiments"
 	"stfm/internal/sim"
+	"stfm/internal/telemetry"
 	"stfm/internal/trace"
 	"stfm/internal/workloads"
 )
@@ -36,8 +46,17 @@ func main() {
 		caches   = flag.Bool("caches", false, "simulate the full L1/L2 hierarchy instead of miss streams")
 		refresh  = flag.Bool("refresh", false, "enable DRAM auto-refresh (tREFI/tRFC)")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
+
+		useTel      = flag.Bool("telemetry", false, "collect interval time series and DRAM event trace")
+		sampleEvery = flag.Int64("sample-every", 1000, "telemetry sampling interval in DRAM cycles")
+		traceOut    = flag.String("trace-out", "", "write the event trace in Chrome trace_event format (implies -telemetry)")
+		traceJSONL  = flag.String("trace-jsonl", "", "write the event trace as JSON Lines (implies -telemetry)")
+		seriesOut   = flag.String("series-out", "", "write the interval time series as CSV (implies -telemetry)")
 	)
 	flag.Parse()
+	if *traceOut != "" || *traceJSONL != "" || *seriesOut != "" {
+		*useTel = true
+	}
 
 	if *list {
 		fmt.Println("SPEC CPU2006 profiles (Table 3):")
@@ -70,6 +89,9 @@ func main() {
 	opts := experiments.DefaultOptions()
 	opts.InstrTarget = *instrs
 	opts.Seed = *seed
+	if *useTel {
+		opts.Telemetry = telemetry.Options{SampleEvery: *sampleEvery, TraceCap: telemetry.DefaultTraceCap}
+	}
 	runner := experiments.NewRunner(opts)
 	wr, err := runner.RunWorkload(sim.PolicyKind(*policy), profs, func(c *sim.Config) {
 		c.UseCaches = *caches
@@ -99,6 +121,45 @@ func main() {
 	fmt.Printf("weighted speedup %8.3f\n", wr.WeightedSpeedup)
 	fmt.Printf("hmean speedup    %8.3f\n", wr.HmeanSpeedup)
 	fmt.Printf("sum of IPCs      %8.3f\n", wr.SumIPC)
+
+	if *useTel {
+		if err := writeTelemetry(runner, *traceOut, *traceJSONL, *seriesOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTelemetry exports the shared run's collected telemetry to the
+// requested output files and prints a one-line summary.
+func writeTelemetry(runner *experiments.Runner, traceOut, traceJSONL, seriesOut string) error {
+	runs := runner.TimeSeries()
+	if len(runs) == 0 {
+		return fmt.Errorf("telemetry enabled but no run recorded")
+	}
+	col := runs[0].Collector
+	fmt.Printf("\ntelemetry: %d samples, %d events recorded (%d dropped by ring)\n",
+		col.Series.Len(), len(col.Tracer.Events()), col.Tracer.Dropped())
+	write := func(path string, emit func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(traceOut, func(f *os.File) error { return col.Tracer.WriteChromeTrace(f) }); err != nil {
+		return err
+	}
+	if err := write(traceJSONL, func(f *os.File) error { return col.Tracer.WriteJSONL(f) }); err != nil {
+		return err
+	}
+	return write(seriesOut, func(f *os.File) error { return col.Series.WriteCSV(f) })
 }
 
 func parseWeights(s string, n int) ([]float64, error) {

@@ -14,13 +14,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
+	"time"
 
 	"stfm/internal/core"
 	"stfm/internal/dram"
 	"stfm/internal/experiments"
 	"stfm/internal/sim"
+	"stfm/internal/telemetry"
 	"stfm/internal/trace"
 )
 
@@ -31,8 +34,18 @@ func main() {
 		policies = flag.String("policies", "", `schedulers to include, or "all" for every implemented policy including the PAR-BS and TCM extensions (default depends on knob)`)
 		instrs   = flag.Int64("instrs", 200_000, "per-thread instruction budget")
 		seed     = flag.Uint64("seed", 1, "trace seed")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and periodic runtime metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		stop, err := telemetry.ServeProfiling(*pprof, 10*time.Second, log.New(os.Stderr, "stfm-sweep: ", 0).Printf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stfm-sweep:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
 
 	names := strings.Split(*workload, ",")
 	var pols []sim.PolicyKind

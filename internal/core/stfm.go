@@ -208,6 +208,12 @@ func (s *STFM) Interference(thread int) float64 { return s.tinterf[thread] }
 // threads).
 func (s *STFM) Unfairness() float64 { return s.unfairness }
 
+// FairnessMode reports whether the fairness rule (Section 3.2.1) was
+// engaged at the last DRAM cycle — i.e. unfairness exceeded α and the
+// most slowed-down thread is jumping the queue. The telemetry sampler
+// reads it to time-resolve what FairnessModeFraction aggregates.
+func (s *STFM) FairnessMode() bool { return s.fairnessMode }
+
 // FairnessModeFraction reports the fraction of DRAM cycles spent with
 // the fairness rule engaged, a diagnostic for the α sensitivity study.
 func (s *STFM) FairnessModeFraction() float64 {

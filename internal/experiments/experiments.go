@@ -12,11 +12,13 @@ import (
 	"stfm/internal/dram"
 	"stfm/internal/metrics"
 	"stfm/internal/sim"
+	"stfm/internal/telemetry"
 	"stfm/internal/trace"
 )
 
-// Options tunes experiment scale. Defaults balance fidelity and run
-// time; benches shrink them further.
+// Options tunes experiment scale (the knobs Section 6.1's methodology
+// fixes for the paper's runs). Defaults balance fidelity and run time;
+// benches shrink them further.
 type Options struct {
 	// InstrTarget is the per-thread instruction budget.
 	InstrTarget int64
@@ -31,6 +33,11 @@ type Options struct {
 	// Geometry / Timing override the DRAM organization (Table 5).
 	Geometry *dram.Geometry
 	Timing   *dram.Timing
+	// Telemetry, when enabled, attaches a fresh telemetry.Collector to
+	// every shared workload run (alone-run baselines stay untelemetered,
+	// since their only purpose is the Talone denominator of Section 6.2).
+	// Collected series are retrievable via Runner.TimeSeries.
+	Telemetry telemetry.Options
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -47,6 +54,15 @@ type Runner struct {
 
 	mu    sync.Mutex
 	alone map[string]sim.ThreadResult
+	runs  []RunTelemetry
+}
+
+// RunTelemetry pairs one shared workload run with the telemetry it
+// collected. Runs are recorded in completion order.
+type RunTelemetry struct {
+	Policy     sim.PolicyKind
+	Benchmarks []string
+	Collector  *telemetry.Collector
 }
 
 // NewRunner creates a Runner with the given options.
@@ -105,7 +121,8 @@ func (r *Runner) Alone(p trace.Profile, channels int) (sim.ThreadResult, error) 
 }
 
 // WorkloadResult is one (workload, scheduler) data point with all of
-// the paper's metrics.
+// the paper's metrics (Section 6.2): per-thread slowdowns, the
+// unfairness index, and the three throughput measures.
 type WorkloadResult struct {
 	Policy     sim.PolicyKind
 	Benchmarks []string
@@ -137,9 +154,23 @@ func (r *Runner) RunWorkload(policy sim.PolicyKind, profiles []trace.Profile, mu
 	if channels == 0 {
 		channels = sim.ChannelsFor(len(profiles))
 	}
+	var col *telemetry.Collector
+	if r.opts.Telemetry.Enabled() {
+		col = telemetry.New(r.opts.Telemetry)
+		cfg.Telemetry = col
+	}
 	res, err := sim.Run(cfg, profiles)
 	if err != nil {
 		return nil, err
+	}
+	if col != nil {
+		r.mu.Lock()
+		r.runs = append(r.runs, RunTelemetry{
+			Policy:     policy,
+			Benchmarks: trace.Names(profiles),
+			Collector:  col,
+		})
+		r.mu.Unlock()
 	}
 	wr := &WorkloadResult{
 		Policy:     policy,
@@ -166,7 +197,8 @@ func (r *Runner) RunWorkload(policy sim.PolicyKind, profiles []trace.Profile, mu
 	return wr, nil
 }
 
-// RunAllPolicies runs the mix under all five schedulers.
+// RunAllPolicies runs the mix under all five evaluated schedulers
+// (Section 7 compares FCFS, FR-FCFS, FR-FCFS+Cap, NFQ, and STFM).
 func (r *Runner) RunAllPolicies(profiles []trace.Profile, mutate func(*sim.Config)) (map[sim.PolicyKind]*WorkloadResult, error) {
 	out := make(map[sim.PolicyKind]*WorkloadResult, 5)
 	for _, pol := range sim.AllPolicies() {
@@ -177,6 +209,17 @@ func (r *Runner) RunAllPolicies(profiles []trace.Profile, mutate func(*sim.Confi
 		out[pol] = wr
 	}
 	return out, nil
+}
+
+// TimeSeries returns the telemetry recorded by every shared workload
+// run so far, in completion order. Empty unless Options.Telemetry is
+// enabled. Safe to call concurrently with running experiments.
+func (r *Runner) TimeSeries() []RunTelemetry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RunTelemetry, len(r.runs))
+	copy(out, r.runs)
+	return out
 }
 
 // Profiles resolves benchmark names to profiles, failing fast on

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -118,7 +119,7 @@ func ByID(id string, full bool) (Experiment, error) {
 }
 
 // Table3 reruns every benchmark alone and reports measured vs paper
-// characteristics.
+// characteristics (Table 3, Section 6.3's benchmark calibration).
 func Table3(r *Runner) (*Report, error) {
 	rep := &Report{ID: "table3", Title: "Benchmark characteristics when run alone (measured vs paper)"}
 	rep.addf("%-18s %10s %10s %10s %10s %8s %8s", "benchmark", "MCPI", "paperMCPI", "MPKI", "paperMPKI", "RBhit", "paperRB")
@@ -134,8 +135,8 @@ func Table3(r *Runner) (*Report, error) {
 	return rep, nil
 }
 
-// Fig1 reports the per-thread slowdowns of the motivation figure under
-// FR-FCFS.
+// Fig1 reports the per-thread slowdowns of the motivation figure
+// (Figure 1, Section 2.2) under FR-FCFS.
 func Fig1(r *Runner) (*Report, error) {
 	rep := &Report{ID: "fig1", Title: "Normalized memory stall time under FR-FCFS"}
 	for _, mix := range []struct {
@@ -162,7 +163,8 @@ func Fig1(r *Runner) (*Report, error) {
 	return rep, nil
 }
 
-// Fig5 pairs mcf with every other benchmark under FR-FCFS and STFM.
+// Fig5 pairs mcf with every other benchmark under FR-FCFS and STFM
+// (Figure 5, Section 7.1's 2-core sweep).
 func Fig5(r *Runner) (*Report, error) {
 	rep := &Report{ID: "fig5", Title: "2-core: mcf + X under FR-FCFS and STFM"}
 	rep.addf("%-14s | %8s %8s %6s | %8s %8s %6s | %7s %7s", "other", "frf:mcf", "frf:X", "unf", "stfm:mcf", "stfm:X", "unf", "dWS%", "dHS%")
@@ -171,7 +173,10 @@ func Fig5(r *Runner) (*Report, error) {
 	}
 	var agg []row
 	pairs := workloads.TwoCorePairs()
-	results := r.runMixesAllPolicies(pairs, []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM}, nil)
+	results, err := r.RunMatrix(pairs, []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
 	for i, mix := range pairs {
 		f := results[i][sim.PolicyFRFCFS]
 		s := results[i][sim.PolicySTFM]
@@ -263,12 +268,18 @@ func averages(id string, cores, count int) func(*Runner) (*Report, error) {
 		rep := &Report{ID: id, Title: fmt.Sprintf("%d-core: %d sample workloads + averages over %d mixes", cores, len(samples), len(mixes))}
 
 		rep.addf("%-12s | %s", "sample", policyHeader("unfairness"))
-		sampleRes := r.runMixesAllPolicies(samples, sim.AllPolicies(), nil)
+		sampleRes, err := r.RunMatrix(samples, sim.AllPolicies(), nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s samples: %w", id, err)
+		}
 		for i, mix := range samples {
 			rep.addf("%-12s | %s", mix.Name, policyRow(sampleRes[i], func(w *WorkloadResult) float64 { return w.Unfairness }))
 		}
 
-		res := r.runMixesAllPolicies(mixes, sim.AllPolicies(), nil)
+		res, err := r.RunMatrix(mixes, sim.AllPolicies(), nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s sweep: %w", id, err)
+		}
 		gm := func(f func(*WorkloadResult) float64) string {
 			var cols []string
 			for _, pol := range sim.AllPolicies() {
@@ -328,9 +339,14 @@ func policyRow(m map[sim.PolicyKind]*WorkloadResult, f func(*WorkloadResult) flo
 	return strings.Join(cols, " ")
 }
 
-// runMixesAllPolicies runs every (mix, policy) pair with a small
-// worker pool, returning results indexed by mix then policy.
-func (r *Runner) runMixesAllPolicies(mixes []workloads.Mix, policies []sim.PolicyKind, mutate func(*sim.Config)) []map[sim.PolicyKind]*WorkloadResult {
+// RunMatrix runs every (mix, policy) pair with a small worker pool,
+// returning results indexed by mix then policy. Failed pairs leave a
+// nil entry AND contribute to the returned error (joined across jobs,
+// each annotated with its mix and policy); earlier versions silently
+// dropped the error, so a mis-parameterized sweep rendered as a grid
+// of "-" cells with no indication why. Callers that can tolerate
+// partial results may inspect the matrix alongside the error.
+func (r *Runner) RunMatrix(mixes []workloads.Mix, policies []sim.PolicyKind, mutate func(*sim.Config)) ([]map[sim.PolicyKind]*WorkloadResult, error) {
 	out := make([]map[sim.PolicyKind]*WorkloadResult, len(mixes))
 	for i := range out {
 		out[i] = make(map[sim.PolicyKind]*WorkloadResult, len(policies))
@@ -342,6 +358,7 @@ func (r *Runner) runMixesAllPolicies(mixes []workloads.Mix, policies []sim.Polic
 	jobs := make(chan job)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var errs []error
 	workers := runtime.GOMAXPROCS(0)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -349,11 +366,12 @@ func (r *Runner) runMixesAllPolicies(mixes []workloads.Mix, policies []sim.Polic
 			defer wg.Done()
 			for j := range jobs {
 				wr, err := r.RunWorkload(j.pol, mixes[j.mix].Profiles, mutate)
-				if err != nil {
-					continue // leave nil; callers skip missing entries
-				}
 				mu.Lock()
-				out[j.mix][j.pol] = wr
+				if err != nil {
+					errs = append(errs, fmt.Errorf("%s under %s: %w", mixes[j.mix].Name, j.pol, err))
+				} else {
+					out[j.mix][j.pol] = wr
+				}
 				mu.Unlock()
 			}
 		}()
@@ -376,7 +394,7 @@ func (r *Runner) runMixesAllPolicies(mixes []workloads.Mix, policies []sim.Polic
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	return out, errors.Join(errs...)
 }
 
 func channelsForMix(r *Runner, cores int) int {
@@ -386,11 +404,15 @@ func channelsForMix(r *Runner, cores int) int {
 	return sim.ChannelsFor(cores)
 }
 
-// Fig12 runs the three 16-core workloads across all policies.
+// Fig12 runs the three 16-core workloads across all policies
+// (Figure 12, Section 7.3's scalability result).
 func Fig12(r *Runner) (*Report, error) {
 	rep := &Report{ID: "fig12", Title: "16-core workloads"}
 	mixes := workloads.SixteenCoreMixes()
-	res := r.runMixesAllPolicies(mixes, sim.AllPolicies(), nil)
+	res, err := r.RunMatrix(mixes, sim.AllPolicies(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("fig12: %w", err)
+	}
 	rep.addf("%-12s | %s", "workload", policyHeader("unfairness"))
 	for i, mix := range mixes {
 		rep.addf("%-12s | %s", mix.Name, policyRow(res[i], func(w *WorkloadResult) float64 { return w.Unfairness }))
@@ -461,7 +483,8 @@ func fmtSlice(v []float64) string {
 	return "[" + strings.Join(parts, " ") + "]"
 }
 
-// Fig15 sweeps the alpha threshold on the intensive 4-core mix.
+// Fig15 sweeps the alpha threshold on the intensive 4-core mix
+// (Figure 15, Section 7.6's sensitivity analysis).
 func Fig15(r *Runner) (*Report, error) {
 	profs, err := Profiles("mcf", "libquantum", "GemsFDTD", "astar")
 	if err != nil {
@@ -518,7 +541,10 @@ func table5(mixCount int) func(*Runner) (*Report, error) {
 				Seed:        r.opts.Seed,
 				Geometry:    &geom,
 			})
-			res := sub.runMixesAllPolicies(mixes, []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM}, nil)
+			res, err := sub.RunMatrix(mixes, []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s: %w", cs.label, err)
+			}
 			for _, pol := range []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM} {
 				var unf, ws []float64
 				for i := range mixes {
@@ -535,7 +561,7 @@ func table5(mixCount int) func(*Runner) (*Report, error) {
 	}
 }
 
-// SortedIDs lists experiment ids (for CLI help).
+// SortedIDs lists experiment ids alphabetically (for CLI help).
 func SortedIDs() []string {
 	var ids []string
 	for _, e := range All(false) {

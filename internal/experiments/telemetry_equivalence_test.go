@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"stfm/internal/sim"
+	"stfm/internal/telemetry"
+)
+
+// TestTelemetryEquivalence pins the observability layer's core
+// invariant: telemetry observes the simulation, it never steers it.
+// The same workload runs four ways — dense and event-driven, each with
+// and without a collector attached — and all four Results must match
+// field for field. On top of that, the dense and event-driven
+// collectors must have captured the *same* telemetry: identical
+// interval samples (the sampler fires at the same cycles with the same
+// live state whether the engine stepped or jumped there) and identical
+// event rings (the controller issues the same commands at the same
+// cycles). STFM is the interesting policy here because its samples
+// carry live slowdown registers and fairness-mode flags.
+func TestTelemetryEquivalence(t *testing.T) {
+	t.Parallel()
+	for _, pol := range []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			t.Parallel()
+			profiles, err := Profiles("mcf", "h264ref")
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := sim.DefaultConfig(pol, len(profiles))
+			base.InstrTarget = 20_000
+			base.MinMisses = 40
+
+			run := func(dense, tel bool) (*sim.Result, *telemetry.Collector) {
+				cfg := base
+				cfg.DenseTick = dense
+				var col *telemetry.Collector
+				if tel {
+					col = telemetry.New(telemetry.Options{SampleEvery: 500, TraceCap: 1 << 14})
+					cfg.Telemetry = col
+				}
+				res, err := sim.Run(cfg, profiles)
+				if err != nil {
+					t.Fatalf("run(dense=%v, tel=%v): %v", dense, tel, err)
+				}
+				return res, col
+			}
+
+			plain, _ := run(false, false)
+			denseRes, denseCol := run(true, true)
+			eventRes, eventCol := run(false, true)
+
+			if !reflect.DeepEqual(plain, eventRes) {
+				t.Errorf("attaching telemetry changed the event-driven result\nplain: %+v\ntel:   %+v", plain, eventRes)
+			}
+			if !reflect.DeepEqual(denseRes, eventRes) {
+				t.Errorf("dense and event results diverge with telemetry on\ndense: %+v\nevent: %+v", denseRes, eventRes)
+			}
+
+			ds, es := denseCol.Series.Samples(), eventCol.Series.Samples()
+			if len(es) == 0 {
+				t.Fatal("no samples collected")
+			}
+			if !reflect.DeepEqual(ds, es) {
+				limit := len(ds)
+				if len(es) < limit {
+					limit = len(es)
+				}
+				for i := 0; i < limit; i++ {
+					if !reflect.DeepEqual(ds[i], es[i]) {
+						t.Fatalf("sample %d diverges\ndense: %+v\nevent: %+v", i, ds[i], es[i])
+					}
+				}
+				t.Fatalf("sample counts diverge: dense %d, event %d", len(ds), len(es))
+			}
+
+			de, ee := denseCol.Tracer.Events(), eventCol.Tracer.Events()
+			if len(ee) == 0 {
+				t.Fatal("no events recorded")
+			}
+			if denseCol.Tracer.Total() != eventCol.Tracer.Total() {
+				t.Fatalf("event totals diverge: dense %d, event %d", denseCol.Tracer.Total(), eventCol.Tracer.Total())
+			}
+			if !reflect.DeepEqual(de, ee) {
+				t.Errorf("event rings diverge (dense %d events, event %d)", len(de), len(ee))
+			}
+		})
+	}
+}
+
+// TestTelemetryRunnerAccessor covers the Runner plumbing: enabling
+// Options.Telemetry attaches a collector to shared runs only, and
+// TimeSeries returns them in completion order with policy and mix
+// labels.
+func TestTelemetryRunnerAccessor(t *testing.T) {
+	t.Parallel()
+	r := NewRunner(Options{
+		InstrTarget: 10_000,
+		MinMisses:   30,
+		Seed:        1,
+		Telemetry:   telemetry.Options{SampleEvery: 500, TraceCap: 1 << 12},
+	})
+	profiles, err := Profiles("mcf", "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunWorkload(sim.PolicySTFM, profiles, nil); err != nil {
+		t.Fatal(err)
+	}
+	runs := r.TimeSeries()
+	if len(runs) != 1 {
+		// Exactly one shared run; the two alone-run baselines must not
+		// contribute entries.
+		t.Fatalf("got %d telemetry runs, want 1", len(runs))
+	}
+	rt := runs[0]
+	if rt.Policy != sim.PolicySTFM || len(rt.Benchmarks) != 2 {
+		t.Errorf("run labels = %v/%v", rt.Policy, rt.Benchmarks)
+	}
+	if rt.Collector.Series.Len() == 0 {
+		t.Error("shared run collected no samples")
+	}
+	if rt.Collector.Tracer.Total() == 0 {
+		t.Error("shared run recorded no events")
+	}
+	for _, s := range rt.Collector.Series.Samples() {
+		if len(s.Slowdowns) != 2 {
+			t.Fatalf("STFM sample missing slowdowns: %+v", s)
+		}
+	}
+}

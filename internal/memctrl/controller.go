@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stfm/internal/dram"
+	"stfm/internal/telemetry"
 )
 
 // Config parameterizes a Controller. The zero value is not usable; use
@@ -120,6 +121,17 @@ type Controller struct {
 	// tests and the trace inspection tool).
 	CommandTrace func(now int64, ch int, cmd dram.Command, req *Request)
 
+	// trace receives request lifecycle and command events when
+	// telemetry is attached (nil otherwise — the hot paths pay exactly
+	// one nil check).
+	trace *telemetry.Tracer
+	// bankHits/bankClosed/bankConflicts count first-schedule row-buffer
+	// outcomes per bank (indexed channel*banks+bank) for the interval
+	// sampler; allocated only by AttachTelemetry.
+	bankHits      []int64
+	bankClosed    []int64
+	bankConflicts []int64
+
 	// nextWake is the earliest CPU cycle at which the controller can do
 	// observable work: always a DRAM clock edge (or dram.Horizon when
 	// fully idle). Tick recomputes it on every edge it processes;
@@ -181,6 +193,31 @@ func (c *Controller) Channel(i int) *dram.Channel { return c.channels[i] }
 // ThreadStats returns a copy of the per-thread service statistics.
 func (c *Controller) ThreadStats(thread int) ThreadStats { return c.threadStats[thread] }
 
+// AttachTelemetry switches the controller's observability layer on:
+// request lifecycle and command events go to tr (which may be nil to
+// collect only counters), and per-bank row-buffer outcome counters are
+// allocated for the interval sampler. Call before the first Tick; with
+// no attach, every instrumentation point reduces to a nil check.
+func (c *Controller) AttachTelemetry(tr *telemetry.Tracer) {
+	c.trace = tr
+	n := c.cfg.Geometry.Channels * c.cfg.Geometry.BanksPerChannel
+	c.bankHits = make([]int64, n)
+	c.bankClosed = make([]int64, n)
+	c.bankConflicts = make([]int64, n)
+}
+
+// BankOutcomes returns copies of the cumulative per-bank first-schedule
+// row-buffer outcome counts (indexed channel*banksPerChannel+bank), or
+// nils when telemetry was never attached.
+func (c *Controller) BankOutcomes() (hits, closed, conflicts []int64) {
+	if c.bankHits == nil {
+		return nil, nil, nil
+	}
+	return append([]int64(nil), c.bankHits...),
+		append([]int64(nil), c.bankClosed...),
+		append([]int64(nil), c.bankConflicts...)
+}
+
 // QueuedReads returns the number of read requests waiting in the
 // request buffer (column access not yet issued).
 func (c *Controller) QueuedReads() int { return c.queuedReads }
@@ -206,6 +243,9 @@ func (c *Controller) EnqueueRead(now int64, thread int, lineAddr uint64, onCompl
 	c.reads[r.Loc.Channel] = append(c.reads[r.Loc.Channel], r)
 	c.queuedReads++
 	c.queuedPerThr[thread]++
+	if c.trace != nil {
+		c.traceLifecycle(telemetry.EvEnqueue, now, r)
+	}
 	c.wakeAtNextEdge(now)
 	return true
 }
@@ -219,6 +259,9 @@ func (c *Controller) EnqueueWrite(now int64, thread int, lineAddr uint64) bool {
 	r := c.newRequest(now, thread, lineAddr, true)
 	c.writes[r.Loc.Channel] = append(c.writes[r.Loc.Channel], r)
 	c.queuedWrites++
+	if c.trace != nil {
+		c.traceLifecycle(telemetry.EvEnqueue, now, r)
+	}
 	c.wakeAtNextEdge(now)
 	return true
 }
@@ -357,6 +400,9 @@ func (c *Controller) completeFinished(now int64) {
 		} else {
 			c.threadStats[r.Thread].WritesServiced++
 		}
+		if c.trace != nil {
+			c.traceLifecycle(telemetry.EvComplete, r.CompleteAt, r)
+		}
 		if r.OnComplete != nil {
 			r.OnComplete(r.CompleteAt)
 		}
@@ -450,6 +496,9 @@ func (c *Controller) scheduleChannel(ch int, now int64) bool {
 	if best == nil {
 		return false
 	}
+	if c.trace != nil {
+		c.traceInversion(now, ch, best, bankBest)
+	}
 	c.issue(ch, now, best, cands)
 	return true
 }
@@ -476,6 +525,17 @@ func (c *Controller) issue(ch int, now int64, chosen *Candidate, cands []Candida
 		r.Started = true
 		r.FirstScheduledOutcome = chosen.Outcome
 		channel.RecordOutcome(chosen.Outcome)
+		if c.bankHits != nil {
+			idx := ch*c.cfg.Geometry.BanksPerChannel + chosen.Cmd.Bank
+			switch chosen.Outcome {
+			case dram.RowHit:
+				c.bankHits[idx]++
+			case dram.RowClosed:
+				c.bankClosed[idx]++
+			default:
+				c.bankConflicts[idx]++
+			}
+		}
 		if !r.IsWrite {
 			c.bankServiceInc(r)
 			st := &c.threadStats[r.Thread]
@@ -508,7 +568,68 @@ func (c *Controller) issue(ch int, now int64, chosen *Candidate, cands []Candida
 	if c.CommandTrace != nil {
 		c.CommandTrace(now, ch, chosen.Cmd, r)
 	}
+	if c.trace != nil {
+		c.traceIssue(now, ch, chosen)
+	}
 	c.policy.OnSchedule(now, chosen, cands)
+}
+
+// traceLifecycle records an enqueue/complete event for a request.
+func (c *Controller) traceLifecycle(kind telemetry.EventKind, now int64, r *Request) {
+	c.trace.Record(telemetry.Event{
+		Cycle: now, Kind: kind, Thread: r.Thread,
+		Channel: r.Loc.Channel, Bank: r.Loc.Bank, Row: r.Loc.Row,
+		Req: r.ID, Write: r.IsWrite,
+	})
+}
+
+// traceIssue records the issued DRAM command into the event ring.
+func (c *Controller) traceIssue(now int64, ch int, chosen *Candidate) {
+	var kind telemetry.EventKind
+	switch chosen.Cmd.Kind {
+	case dram.CmdActivate:
+		kind = telemetry.EvActivate
+	case dram.CmdPrecharge:
+		kind = telemetry.EvPrecharge
+	default:
+		kind = telemetry.EvColumn
+	}
+	r := chosen.Req
+	c.trace.Record(telemetry.Event{
+		Cycle: now, Kind: kind, Thread: r.Thread,
+		Channel: ch, Bank: chosen.Cmd.Bank, Row: chosen.Cmd.Row,
+		Req: r.ID, Write: r.IsWrite,
+	})
+}
+
+// traceInversion records a priority-inversion event when the policy's
+// across-bank choice overrode the baseline FR-FCFS order (column-first,
+// then oldest-first) against another ready bank winner of the same
+// read/write class. Plain FR-FCFS never triggers it by construction;
+// under STFM, inversions are exactly the fairness-rule interventions of
+// the paper's Section 3.2.1, and under NFQ/TCM they mark virtual-time /
+// cluster prioritization.
+func (c *Controller) traceInversion(now int64, ch int, chosen *Candidate, bankBest []*Candidate) {
+	r := chosen.Req
+	for _, o := range bankBest {
+		if o == nil || o.Req == r || !o.Ready || o.Req.IsWrite != r.IsWrite {
+			continue
+		}
+		inverted := false
+		if o.IsColumn() != chosen.IsColumn() {
+			inverted = o.IsColumn()
+		} else {
+			inverted = o.Req.Older(r)
+		}
+		if inverted {
+			c.trace.Record(telemetry.Event{
+				Cycle: now, Kind: telemetry.EvInversion, Thread: r.Thread,
+				Channel: ch, Bank: chosen.Cmd.Bank, Row: chosen.Cmd.Row,
+				Req: r.ID, Write: r.IsWrite,
+			})
+			return
+		}
+	}
 }
 
 func (c *Controller) removeQueued(ch int, r *Request) {

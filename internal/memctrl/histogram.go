@@ -59,10 +59,36 @@ func (h *LatencyHistogram) Percentile(p float64) int64 {
 	for i, c := range h.buckets {
 		seen += c
 		if seen > target {
-			return (int64(1) << uint(i+1)) - 1
+			// The last bucket is open-ended ([2^23, ∞)), so its
+			// power-of-two ceiling is meaningless — the recorded max is
+			// the only valid bound there. For interior buckets the max
+			// is still a tighter bound whenever it falls inside the
+			// bucket the quantile landed in.
+			bound := (int64(1) << uint(i+1)) - 1
+			if i == latencyBuckets-1 || bound > h.max {
+				return h.max
+			}
+			return bound
 		}
 	}
 	return h.max
+}
+
+// Merge accumulates other's samples into h, as if every latency
+// recorded into other had been recorded into h. Used to aggregate
+// per-thread histograms into workload-level tail statistics. A nil or
+// empty other is a no-op.
+func (h *LatencyHistogram) Merge(other *LatencyHistogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	if other.max > h.max {
+		h.max = other.max
+	}
 }
 
 // String summarizes the distribution.

@@ -86,3 +86,68 @@ func TestHistogramString(t *testing.T) {
 		t.Error("String must render")
 	}
 }
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h LatencyHistogram
+	h.Record(37)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if q := h.Percentile(p); q != 37 {
+			// One sample: every quantile is that sample, and the max
+			// (37) is a tighter bound than its bucket ceiling (63).
+			t.Errorf("Percentile(%v) = %d, want 37", p, q)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h LatencyHistogram
+	const huge = int64(1) << 30 // far past the last bucket boundary (2^23)
+	h.Record(huge)
+	h.Record(huge + 5)
+	if got := h.Percentile(0.99); got != huge+5 {
+		t.Errorf("overflow-bucket percentile = %d, want the recorded max %d", got, huge+5)
+	}
+	if got := h.Percentile(0); got != huge+5 {
+		// Both samples share the open-ended bucket, so the max is the
+		// only bound available at any quantile.
+		t.Errorf("Percentile(0) = %d, want %d", got, huge+5)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b LatencyHistogram
+	for i := 0; i < 50; i++ {
+		a.Record(100)
+	}
+	for i := 0; i < 50; i++ {
+		b.Record(20_000)
+	}
+	a.Merge(&b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", a.Count())
+	}
+	if a.Max() != 20_000 {
+		t.Errorf("merged max = %d, want 20000", a.Max())
+	}
+	if p99 := a.Percentile(0.99); p99 < 20_000 {
+		t.Errorf("merged p99 = %d, must cover b's tail", p99)
+	}
+	if p25 := a.Percentile(0.25); p25 > 255 {
+		t.Errorf("merged p25 = %d, should stay in a's fast bucket", p25)
+	}
+
+	// Merging nil or empty histograms changes nothing.
+	before := a
+	a.Merge(nil)
+	a.Merge(&LatencyHistogram{})
+	if a != before {
+		t.Error("nil/empty merge must be a no-op")
+	}
+
+	// Merge into an empty histogram copies the distribution.
+	var c LatencyHistogram
+	c.Merge(&a)
+	if c != a {
+		t.Error("merge into empty must equal the source")
+	}
+}

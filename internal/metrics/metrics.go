@@ -16,9 +16,10 @@ import (
 // of magnitude below the sparsest benchmark's paper MCPI.
 const minMCPI = 1e-4
 
-// MemSlowdown returns a thread's memory slowdown: its memory stall
-// time per instruction running shared, divided by its stall time per
-// instruction running alone in the same memory system.
+// MemSlowdown returns a thread's memory slowdown (Section 3.1's
+// MemSlowdown = Tshared/Talone, measured as Section 6.2 prescribes):
+// its memory stall time per instruction running shared, divided by its
+// stall time per instruction running alone in the same memory system.
 func MemSlowdown(sharedMCPI, aloneMCPI float64) float64 {
 	if aloneMCPI < minMCPI {
 		aloneMCPI = minMCPI
@@ -29,8 +30,9 @@ func MemSlowdown(sharedMCPI, aloneMCPI float64) float64 {
 	return sharedMCPI / aloneMCPI
 }
 
-// MemSlowdowns applies MemSlowdown element-wise. It panics on length
-// mismatch (a programming error in the experiment harness).
+// MemSlowdowns applies MemSlowdown (Section 3.1) element-wise. It
+// panics on length mismatch (a programming error in the experiment
+// harness).
 func MemSlowdowns(shared, alone []float64) []float64 {
 	if len(shared) != len(alone) {
 		panic(fmt.Sprintf("metrics: %d shared vs %d alone MCPI values", len(shared), len(alone)))
@@ -42,9 +44,9 @@ func MemSlowdowns(shared, alone []float64) []float64 {
 	return out
 }
 
-// Unfairness returns the paper's unfairness index: the ratio of the
-// maximum to the minimum memory slowdown in the workload. A
-// perfectly-fair system scores 1.
+// Unfairness returns the paper's unfairness index (Section 6.2): the
+// ratio of the maximum to the minimum memory slowdown in the workload.
+// A perfectly-fair system scores 1.
 func Unfairness(slowdowns []float64) float64 {
 	if len(slowdowns) == 0 {
 		return 1
@@ -65,7 +67,7 @@ func Unfairness(slowdowns []float64) float64 {
 }
 
 // WeightedSpeedup returns Σ IPC_shared/IPC_alone, the system
-// throughput metric of [Snavely & Tullsen].
+// throughput metric of [Snavely & Tullsen] that Section 6.2 adopts.
 func WeightedSpeedup(sharedIPC, aloneIPC []float64) float64 {
 	checkLen(sharedIPC, aloneIPC)
 	var sum float64
@@ -78,7 +80,8 @@ func WeightedSpeedup(sharedIPC, aloneIPC []float64) float64 {
 }
 
 // HmeanSpeedup returns NumThreads / Σ (IPC_alone/IPC_shared), the
-// balanced fairness-throughput metric of [Luo et al.].
+// balanced fairness-throughput metric of [Luo et al.] that Section 6.2
+// adopts.
 func HmeanSpeedup(sharedIPC, aloneIPC []float64) float64 {
 	checkLen(sharedIPC, aloneIPC)
 	var sum float64
@@ -94,9 +97,9 @@ func HmeanSpeedup(sharedIPC, aloneIPC []float64) float64 {
 	return float64(len(sharedIPC)) / sum
 }
 
-// SumIPC returns Σ IPC_shared. The paper reports it only as a caution:
-// it rewards unfairly speeding up non-memory-intensive threads and
-// must not be read as system throughput.
+// SumIPC returns Σ IPC_shared. Section 6.2 reports it only as a
+// caution: it rewards unfairly speeding up non-memory-intensive
+// threads and must not be read as system throughput.
 func SumIPC(sharedIPC []float64) float64 {
 	var sum float64
 	for _, v := range sharedIPC {
@@ -106,7 +109,8 @@ func SumIPC(sharedIPC []float64) float64 {
 }
 
 // GeoMean returns the geometric mean of positive values, the averaging
-// the paper uses across workloads; non-positive inputs are skipped.
+// Section 7 uses across workloads (e.g. Figures 9 and 11);
+// non-positive inputs are skipped.
 func GeoMean(vals []float64) float64 {
 	var logSum float64
 	n := 0
@@ -123,8 +127,9 @@ func GeoMean(vals []float64) float64 {
 }
 
 // UnfairnessReduction returns the percentage reduction in unfairness
-// relative to 1, the paper's convention (footnote 17): unfairness
-// cannot go below 1, so improvements are measured against that floor.
+// relative to 1, the convention of Section 7's figures (footnote 17):
+// unfairness cannot go below 1, so improvements are measured against
+// that floor.
 func UnfairnessReduction(from, to float64) float64 {
 	if from <= 1 {
 		return 0

@@ -17,6 +17,7 @@ import (
 	"stfm/internal/cpu"
 	"stfm/internal/dram"
 	"stfm/internal/memctrl"
+	"stfm/internal/telemetry"
 	"stfm/internal/trace"
 )
 
@@ -109,6 +110,15 @@ type Config struct {
 	// exists as the differential-testing escape hatch and for debugging
 	// with per-cycle traces.
 	DenseTick bool
+	// Telemetry, if non-nil, attaches the observability layer: the
+	// collector's Tracer receives DRAM command and request lifecycle
+	// events from the controller, and its Series receives interval
+	// samples taken every Collector.SampleEvery DRAM cycles. Sampling
+	// is an observer only — it never changes stepping decisions, so
+	// schedules stay bit-identical with telemetry on or off (asserted
+	// by TestTelemetryEquivalence). Nil costs a single pointer check
+	// per instrumentation point.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns a baseline configuration for the given policy
@@ -190,6 +200,14 @@ type System struct {
 	now      int64
 	frozen   []bool
 	results  []ThreadResult
+
+	// Telemetry state: tel is nil when no collector is attached;
+	// nextSampleAt is the next sampling boundary in CPU cycles (the
+	// horizon sentinel when sampling is off, so the per-step check
+	// never fires).
+	tel          *telemetry.Collector
+	sampleEvery  int64
+	nextSampleAt int64
 }
 
 // NewSystem wires up a simulation of the given workload: one core per
@@ -264,6 +282,16 @@ func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
 			mem = port
 		}
 		s.cores = append(s.cores, cpu.New(i, cfg.CoreCfg, mem, stream))
+	}
+	s.nextSampleAt = horizon
+	if cfg.Telemetry != nil {
+		s.tel = cfg.Telemetry
+		ctrl.AttachTelemetry(cfg.Telemetry.Tracer)
+		if cfg.Telemetry.Series != nil && cfg.Telemetry.SampleEvery > 0 {
+			s.sampleEvery = cfg.Telemetry.SampleEvery * mcfg.Timing.CPUCyclesPerDRAMCycle
+			cfg.Telemetry.Series.EveryCPUCycles = s.sampleEvery
+			s.nextSampleAt = s.sampleEvery
+		}
 	}
 	s.frozen = make([]bool, n)
 	s.results = make([]ThreadResult, n)
@@ -352,6 +380,12 @@ func (s *System) Tick() { s.step() }
 // activity (enqueues, cache hits) schedules new events for them.
 func (s *System) step() int64 {
 	now := s.now
+	if now == s.nextSampleAt {
+		// Snapshot state as of the start of this cycle, before any
+		// component acts (nextSampleAt is the horizon sentinel when
+		// sampling is off, so this branch never fires then).
+		s.takeSample(now)
+	}
 	if s.cfg.DenseTick || now >= s.ctrl.NextTickAt() {
 		s.ctrl.Tick(now)
 	}
@@ -383,6 +417,43 @@ func (s *System) step() int64 {
 	}
 	return next
 }
+
+// takeSample snapshots live scheduler and DRAM state into the attached
+// time series: per-thread slowdown estimates from STFM's registers,
+// stall counters, buffer occupancies, bus busy time, and per-bank
+// row-buffer outcomes. The snapshot reflects all cycles strictly before
+// now, which is identical whether the engine stepped densely through
+// now or jumped over it — the telemetry equivalence test pins this.
+func (s *System) takeSample(now int64) {
+	s.nextSampleAt += s.sampleEvery
+	ser := s.tel.Series
+	smp := telemetry.Sample{
+		Cycle:        now,
+		QueuedReads:  s.ctrl.QueuedReads(),
+		QueuedWrites: s.ctrl.QueuedWrites(),
+		StallCycles:  make([]int64, len(s.cores)),
+	}
+	for i, c := range s.cores {
+		smp.StallCycles[i] = c.MemStallCycles()
+	}
+	if s.stfm != nil {
+		smp.Slowdowns = make([]float64, len(s.cores))
+		for i := range s.cores {
+			smp.Slowdowns[i] = s.stfm.Slowdown(i)
+		}
+		smp.Unfairness = s.stfm.Unfairness()
+		smp.FairnessMode = s.stfm.FairnessMode()
+	}
+	for i := 0; i < s.ctrl.Config().Geometry.Channels; i++ {
+		smp.BusBusyCycles += s.ctrl.Channel(i).Stats().BusyCycles
+	}
+	smp.BankRowHits, smp.BankRowClosed, smp.BankRowConflicts = s.ctrl.BankOutcomes()
+	ser.Append(smp)
+}
+
+// Telemetry returns the collector attached via Config.Telemetry (nil
+// when the run is untelemetered).
+func (s *System) Telemetry() *telemetry.Collector { return s.tel }
 
 // freeze snapshots thread i's measured window.
 func (s *System) freeze(i int, now int64, truncated bool) {
@@ -437,6 +508,22 @@ func (s *System) Run() (*Result, error) {
 		// dense ticking (which would spin out the same dead cycles).
 		if next > maxCycles {
 			next = maxCycles
+		}
+		// Sampling boundaries inside the quiescent window still get
+		// their snapshots: advance the cores' bulk accounting to each
+		// boundary and sample there, exactly as a dense-ticked run
+		// would observe it. The components themselves stay untouched —
+		// a quiescent window costs the sampler a few appends, never a
+		// component tick. (A boundary equal to next is taken by the
+		// following step's start-of-cycle check.)
+		for s.nextSampleAt < next {
+			if d := s.nextSampleAt - s.now; d > 0 {
+				for _, c := range s.cores {
+					c.AdvanceIdle(d)
+				}
+				s.now = s.nextSampleAt
+			}
+			s.takeSample(s.now)
 		}
 		if k := next - s.now; k > 0 {
 			for _, c := range s.cores {

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"runtime"
+	"time"
+)
+
+// ServeProfiling starts an HTTP server on addr exposing the standard
+// net/http/pprof endpoints (/debug/pprof/...) and, when every > 0, a
+// goroutine that periodically prints process runtime metrics (heap,
+// GC, goroutines) through logf. It returns a stop function that shuts
+// both down. The cmd/stfm-* tools expose this behind a -pprof flag so
+// long sweeps can be profiled live:
+//
+//	stfm-sweep -knob cores -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile
+func ServeProfiling(addr string, every time.Duration, logf func(format string, args ...any)) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: pprof listen: %w", err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+
+	done := make(chan struct{})
+	if every > 0 && logf != nil {
+		go func() {
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					var m runtime.MemStats
+					runtime.ReadMemStats(&m)
+					logf("runtime: heap=%.1fMB sys=%.1fMB gc=%d pauseTotal=%s goroutines=%d",
+						float64(m.HeapAlloc)/(1<<20), float64(m.Sys)/(1<<20),
+						m.NumGC, time.Duration(m.PauseTotalNs), runtime.NumGoroutine())
+				}
+			}
+		}()
+	}
+	if logf != nil {
+		logf("pprof listening on http://%s/debug/pprof/", ln.Addr())
+	}
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		srv.Close()
+	}, nil
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sample is one interval snapshot of the live scheduler and DRAM state,
+// taken every TimeSeries.EveryCPUCycles CPU cycles by the simulation
+// loop. All counter fields are cumulative since the start of the run;
+// consumers diff adjacent samples to get per-interval rates.
+type Sample struct {
+	// Cycle is the CPU cycle the snapshot was taken at (state reflects
+	// all cycles strictly before it).
+	Cycle int64 `json:"cycle"`
+	// Slowdowns are the per-thread slowdown estimates read from STFM's
+	// live registers (Section 3.2's Tshared/Talone ratio, weighted);
+	// nil when the run's policy is not STFM.
+	Slowdowns []float64 `json:"slowdowns,omitempty"`
+	// Unfairness is STFM's Smax/Smin over threads with waiting
+	// requests, as of the last DRAM cycle (0 when not STFM).
+	Unfairness float64 `json:"unfairness,omitempty"`
+	// FairnessMode reports whether STFM's fairness rule was engaged.
+	FairnessMode bool `json:"fairness_mode,omitempty"`
+	// StallCycles is each thread's cumulative memory stall counter
+	// (the Tshared input of Section 5.1).
+	StallCycles []int64 `json:"stall_cycles"`
+	// QueuedReads / QueuedWrites are the request- and write-buffer
+	// occupancies at the sample instant.
+	QueuedReads  int `json:"queued_reads"`
+	QueuedWrites int `json:"queued_writes"`
+	// BusBusyCycles is the cumulative data-bus busy time summed over
+	// channels; diffing and dividing by the interval gives per-interval
+	// bus utilization.
+	BusBusyCycles int64 `json:"bus_busy_cycles"`
+	// BankRowHits / BankRowClosed / BankRowConflicts are cumulative
+	// first-schedule row-buffer outcomes per bank, indexed
+	// channel*banksPerChannel+bank. A bank whose conflict count climbs
+	// while its hit count stalls is being thrashed.
+	BankRowHits      []int64 `json:"bank_row_hits"`
+	BankRowClosed    []int64 `json:"bank_row_closed"`
+	BankRowConflicts []int64 `json:"bank_row_conflicts"`
+}
+
+// TimeSeries is the append-only sequence of interval samples collected
+// over one run.
+type TimeSeries struct {
+	// EveryCPUCycles is the realized sampling stride in CPU cycles
+	// (Collector.SampleEvery DRAM cycles times the clock ratio), set by
+	// the simulation when it attaches the series.
+	EveryCPUCycles int64
+
+	samples []Sample
+}
+
+// Append adds one sample.
+func (ts *TimeSeries) Append(s Sample) { ts.samples = append(ts.samples, s) }
+
+// Len returns the number of samples collected.
+func (ts *TimeSeries) Len() int { return len(ts.samples) }
+
+// Samples returns the collected samples in time order. The slice is
+// shared with the series; callers must not mutate it.
+func (ts *TimeSeries) Samples() []Sample { return ts.samples }
+
+// WriteCSV renders the series as CSV for plotting: one row per sample
+// with cycle, occupancies, interval bus utilization, aggregate
+// row-buffer outcome counts, and one stall / slowdown column per
+// thread. Per-bank counts are summed here; the full per-bank resolution
+// is available from Samples directly.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if len(ts.samples) == 0 {
+		return bw.Flush()
+	}
+	threads := len(ts.samples[0].StallCycles)
+	header := "cycle,queued_reads,queued_writes,bus_util,row_hits,row_conflicts,unfairness,fairness_mode"
+	for i := 0; i < threads; i++ {
+		header += fmt.Sprintf(",stall%d", i)
+	}
+	for i := 0; i < threads; i++ {
+		header += fmt.Sprintf(",slowdown%d", i)
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return err
+	}
+	var prevBusy, prevCycle int64
+	for _, s := range ts.samples {
+		util := 0.0
+		if d := s.Cycle - prevCycle; d > 0 {
+			util = float64(s.BusBusyCycles-prevBusy) / float64(d)
+		}
+		prevBusy, prevCycle = s.BusBusyCycles, s.Cycle
+		fm := 0
+		if s.FairnessMode {
+			fm = 1
+		}
+		row := fmt.Sprintf("%d,%d,%d,%.4f,%d,%d,%.4f,%d",
+			s.Cycle, s.QueuedReads, s.QueuedWrites, util,
+			sum64(s.BankRowHits), sum64(s.BankRowConflicts), s.Unfairness, fm)
+		for i := 0; i < threads; i++ {
+			row += "," + strconv.FormatInt(s.StallCycles[i], 10)
+		}
+		for i := 0; i < threads; i++ {
+			if s.Slowdowns != nil {
+				row += "," + strconv.FormatFloat(s.Slowdowns[i], 'f', 4, 64)
+			} else {
+				row += ","
+			}
+		}
+		if _, err := fmt.Fprintln(bw, row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func sum64(v []int64) int64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

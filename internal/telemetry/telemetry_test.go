@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleEvents(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{
+			Cycle:   int64(100 * (i + 1)),
+			Kind:    EventKind(i % int(EvInversion+1)),
+			Thread:  i % 4,
+			Channel: i % 2,
+			Bank:    i % 8,
+			Row:     1000 + i,
+			Req:     uint64(i / 2),
+			Write:   i%3 == 0,
+		}
+	}
+	return out
+}
+
+// TestJSONLRoundTrip is the ISSUE's interchange guarantee: emit events
+// to JSONL, re-parse, and match field for field.
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(64)
+	want := sampleEvents(20)
+	for _, e := range want {
+		tr.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadJSONLRejectsMalformed(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"cycle\":1,\"kind\":\"enqueue\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+	_, err = ReadJSONL(strings.NewReader("{\"cycle\":1,\"kind\":\"bogus\"}\n"))
+	if err == nil {
+		t.Fatal("unknown kind must be an error")
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	all := sampleEvents(20)
+	for _, e := range all {
+		tr.Record(e)
+	}
+	if tr.Total() != 20 {
+		t.Errorf("total = %d, want 20", tr.Total())
+	}
+	if tr.Dropped() != 12 {
+		t.Errorf("dropped = %d, want 12", tr.Dropped())
+	}
+	got := tr.Events()
+	if !reflect.DeepEqual(got, all[12:]) {
+		// The ring must hold exactly the newest 8 events, oldest first.
+		t.Fatalf("buffered window mismatch:\ngot  %+v\nwant %+v", got, all[12:])
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(8)
+	all := sampleEvents(3)
+	for _, e := range all {
+		tr.Record(e)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", tr.Dropped())
+	}
+	if got := tr.Events(); !reflect.DeepEqual(got, all) {
+		t.Fatalf("events = %+v, want %+v", got, all)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvEnqueue, EvActivate, EvColumn, EvPrecharge, EvComplete, EvInversion}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+		var back EventKind
+		if err := back.UnmarshalJSON([]byte(`"` + s + `"`)); err != nil || back != k {
+			t.Errorf("kind %q failed to round trip: %v", s, err)
+		}
+	}
+	if EventKind(200).String() == "" {
+		t.Error("out-of-range kind must still render")
+	}
+}
+
+// TestChromeTraceValid checks the export parses as the trace_event
+// format: a traceEvents array where every entry has a phase, and
+// enqueue/complete pairs become duration slices while commands become
+// instants.
+func TestChromeTraceValid(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Record(Event{Cycle: 100, Kind: EvEnqueue, Thread: 1, Channel: 0, Bank: 2, Row: 7, Req: 42})
+	tr.Record(Event{Cycle: 110, Kind: EvActivate, Thread: 1, Channel: 0, Bank: 2, Row: 7, Req: 42})
+	tr.Record(Event{Cycle: 140, Kind: EvColumn, Thread: 1, Channel: 0, Bank: 2, Row: 7, Req: 42})
+	tr.Record(Event{Cycle: 200, Kind: EvComplete, Thread: 1, Channel: 0, Bank: 2, Row: 7, Req: 42})
+	// A complete whose enqueue rotated out of the ring: no slice.
+	tr.Record(Event{Cycle: 300, Kind: EvComplete, Thread: 0, Channel: 1, Bank: 0, Row: 1, Req: 7})
+	tr.Record(Event{Cycle: 310, Kind: EvInversion, Thread: 2, Channel: 1, Bank: 3, Row: 5, Req: 9})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    int64  `json:"ts"`
+			Dur   int64  `json:"dur"`
+			PID   int    `json:"pid"`
+			TID   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var slices, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "X":
+			slices++
+			if e.TS != 100 || e.Dur != 100 || e.PID != requestsPID || e.TID != 1 {
+				t.Errorf("slice %+v, want ts=100 dur=100 pid=%d tid=1", e, requestsPID)
+			}
+		case "i":
+			instants++
+		case "M":
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if slices != 1 {
+		t.Errorf("slices = %d, want exactly 1 (orphan complete must not pair)", slices)
+	}
+	if instants != 3 {
+		t.Errorf("instants = %d, want 3 (ACT, RD, inversion)", instants)
+	}
+}
+
+func TestTimeSeriesCSV(t *testing.T) {
+	ts := &TimeSeries{EveryCPUCycles: 100}
+	ts.Append(Sample{
+		Cycle: 100, Slowdowns: []float64{1.5, 2.0}, Unfairness: 1.33,
+		StallCycles: []int64{50, 70}, QueuedReads: 3, QueuedWrites: 1,
+		BusBusyCycles: 40, BankRowHits: []int64{2, 3}, BankRowConflicts: []int64{1, 0},
+	})
+	ts.Append(Sample{
+		Cycle: 200, Slowdowns: []float64{1.6, 2.1}, Unfairness: 1.31, FairnessMode: true,
+		StallCycles: []int64{90, 130}, QueuedReads: 2, QueuedWrites: 0,
+		BusBusyCycles: 90, BankRowHits: []int64{4, 5}, BankRowConflicts: []int64{2, 1},
+	})
+	var buf bytes.Buffer
+	if err := ts.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "cycle,") || !strings.Contains(lines[0], "slowdown1") {
+		t.Errorf("header %q missing expected columns", lines[0])
+	}
+	// Second row's bus_util is the interval diff: (90-40)/(200-100).
+	if !strings.Contains(lines[2], ",0.5000,") {
+		t.Errorf("row %q should carry interval bus_util 0.5000", lines[2])
+	}
+	if !strings.HasSuffix(lines[2], ",2.1000") {
+		t.Errorf("row %q should end with slowdown1", lines[2])
+	}
+
+	// Empty series renders nothing rather than a dangling header.
+	var empty TimeSeries
+	buf.Reset()
+	if err := empty.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty series wrote %q", buf.String())
+	}
+}
+
+func TestCollectorNew(t *testing.T) {
+	if (Options{}).Enabled() {
+		t.Error("zero Options must be disabled")
+	}
+	c := New(Options{SampleEvery: 10})
+	if c.Tracer != nil || c.Series == nil {
+		t.Error("SampleEvery alone must allocate only the series")
+	}
+	c = New(Options{TraceCap: 4})
+	if c.Tracer == nil || c.Series != nil {
+		t.Error("TraceCap alone must allocate only the tracer")
+	}
+}

@@ -1,0 +1,301 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind enumerates the traced points in a DRAM request's lifecycle.
+// The schema of each kind is tabulated in DESIGN.md Section 11.
+type EventKind uint8
+
+const (
+	// EvEnqueue marks a request entering the controller's request
+	// buffer (reads) or write buffer (writebacks).
+	EvEnqueue EventKind = iota
+	// EvActivate marks an ACT command issued on behalf of the request:
+	// its row is being opened.
+	EvActivate
+	// EvColumn marks the column access (RD or WR, distinguished by
+	// Write) — the request's data burst begins CL cycles later.
+	EvColumn
+	// EvPrecharge marks a PRE issued for the request: a conflicting
+	// open row is being closed before its activate.
+	EvPrecharge
+	// EvComplete marks the request's round trip finishing (read data
+	// returned to the core, or write burst retired).
+	EvComplete
+	// EvInversion marks a priority inversion: the scheduling policy
+	// issued this request's command even though another *ready*
+	// candidate outranked it under the baseline FR-FCFS order
+	// (column-first, then oldest-first). Under STFM these are exactly
+	// the fairness-rule interventions of Section 3.2.1.
+	EvInversion
+)
+
+var eventKindNames = [...]string{
+	EvEnqueue:   "enqueue",
+	EvActivate:  "activate",
+	EvColumn:    "column",
+	EvPrecharge: "precharge",
+	EvComplete:  "complete",
+	EvInversion: "inversion",
+}
+
+// String returns the event kind's schema name (the value of the "kind"
+// field in the JSONL export).
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its schema name, keeping the JSONL
+// export self-describing.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a schema name back into the kind (the reverse
+// half of the JSONL round trip).
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, name := range eventKindNames {
+		if name == s {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", s)
+}
+
+// Event is one entry in the tracer's ring buffer: a DRAM command or
+// request lifecycle point, stamped with the CPU cycle it happened at
+// and the DRAM coordinate it concerns.
+type Event struct {
+	// Cycle is the CPU cycle of the event.
+	Cycle int64 `json:"cycle"`
+	// Kind classifies the event.
+	Kind EventKind `json:"kind"`
+	// Thread is the hardware thread that owns the request.
+	Thread int `json:"thread"`
+	// Channel / Bank / Row locate the access in the DRAM system.
+	Channel int `json:"channel"`
+	Bank    int `json:"bank"`
+	Row     int `json:"row"`
+	// Req is the request's controller-assigned ID, linking the events
+	// of one lifecycle together.
+	Req uint64 `json:"req"`
+	// Write marks writeback requests (and WR column accesses).
+	Write bool `json:"write,omitempty"`
+}
+
+// Tracer is a fixed-size ring buffer of Events. Recording is O(1) with
+// no allocation; once full, the oldest events are overwritten, so the
+// buffer always holds the most recent window — the window you want when
+// something went wrong at the end of a run.
+//
+// A Tracer is not safe for concurrent use; attach one per simulation.
+type Tracer struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewTracer creates a tracer holding up to capacity events
+// (DefaultTraceCap if capacity is not positive).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. This is the hot-path entry point: callers hold a possibly-nil
+// *Tracer and guard with a single nil check.
+func (t *Tracer) Record(e Event) {
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	t.total++
+}
+
+// Total returns the number of events recorded over the tracer's
+// lifetime, including any that have been overwritten.
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t.total <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.total - uint64(len(t.buf))
+}
+
+// Events returns the buffered events oldest-first. The slice is a copy;
+// mutating it does not affect the tracer.
+func (t *Tracer) Events() []Event {
+	if t.total <= uint64(len(t.buf)) {
+		return append([]Event(nil), t.buf[:t.total]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// WriteJSONL writes the buffered events oldest-first, one JSON object
+// per line — the stable interchange format (ReadJSONL parses it back;
+// DESIGN.md Section 11 tabulates the fields).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream written by WriteJSONL. Blank
+// lines are skipped; any malformed line is an error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (the subset Perfetto and chrome://tracing consume).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Chrome-trace track layout: requests get one process per thread-group
+// (pid requestsPID, tid = hardware thread), DRAM commands one process
+// per channel (pid = channelPIDBase+channel, tid = bank).
+const (
+	requestsPID    = 1
+	channelPIDBase = 100
+)
+
+// WriteChromeTrace exports the buffered events in the Chrome
+// trace_event format, openable in chrome://tracing or Perfetto
+// (ui.perfetto.dev). One CPU cycle maps to one microsecond of trace
+// time. Request lifecycles (enqueue→complete pairs present in the
+// buffer) render as duration slices on a per-thread track; individual
+// DRAM commands and priority inversions render as instant events on
+// per-channel, per-bank tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms"}
+
+	emitMeta := func(pid, tid int, kind, name string) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: kind, Phase: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	emitMeta(requestsPID, 0, "process_name", "requests (per thread)")
+
+	// Pair enqueues with completes to draw request lifetime slices.
+	enq := make(map[uint64]Event)
+	seenChannel := map[int]bool{}
+	seenThread := map[int]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case EvEnqueue:
+			enq[e.Req] = e
+		case EvComplete:
+			start, ok := enq[e.Req]
+			if !ok {
+				continue // enqueue rotated out of the ring
+			}
+			delete(enq, e.Req)
+			if !seenThread[e.Thread] {
+				seenThread[e.Thread] = true
+				emitMeta(requestsPID, e.Thread, "thread_name", fmt.Sprintf("thread %d", e.Thread))
+			}
+			name := "read"
+			if e.Write {
+				name = "write"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Cat: "request", Phase: "X",
+				TS: start.Cycle, Dur: max64(e.Cycle-start.Cycle, 1),
+				PID: requestsPID, TID: e.Thread,
+				Args: map[string]any{
+					"req": e.Req, "channel": e.Channel, "bank": e.Bank, "row": e.Row,
+				},
+			})
+		case EvActivate, EvColumn, EvPrecharge, EvInversion:
+			pid := channelPIDBase + e.Channel
+			if !seenChannel[e.Channel] {
+				seenChannel[e.Channel] = true
+				emitMeta(pid, 0, "process_name", fmt.Sprintf("DRAM channel %d", e.Channel))
+			}
+			name := e.Kind.String()
+			if e.Kind == EvColumn {
+				name = "RD"
+				if e.Write {
+					name = "WR"
+				}
+			} else if e.Kind == EvActivate {
+				name = "ACT"
+			} else if e.Kind == EvPrecharge {
+				name = "PRE"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Cat: "dram", Phase: "i", TS: e.Cycle,
+				PID: pid, TID: e.Bank, Scope: "t",
+				Args: map[string]any{"thread": e.Thread, "row": e.Row, "req": e.Req},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
