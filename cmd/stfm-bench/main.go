@@ -17,12 +17,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"reflect"
 	"strings"
+	"syscall"
 	"time"
 
 	"stfm/internal/experiments"
@@ -74,6 +78,8 @@ func main() {
 	if *repeat < 1 {
 		fatal(fmt.Errorf("-repeat must be at least 1, got %d", *repeat))
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	names := strings.Split(*mixFlag, ",")
 	profiles, err := experiments.Profiles(names...)
 	if err != nil {
@@ -96,8 +102,13 @@ func main() {
 				c.Telemetry = telemetry.New(telemetry.Options{SampleEvery: *sampleEvery, TraceCap: telemetry.DefaultTraceCap})
 			}
 			start := time.Now()
-			r, err := sim.Run(c, profiles)
+			r, err := sim.RunContext(ctx, c, profiles)
 			if err != nil {
+				if errors.Is(err, sim.ErrCanceled) || errors.Is(err, sim.ErrDeadline) {
+					fmt.Fprintln(os.Stderr, "stfm-bench: interrupted, no report written:", err)
+					stop()
+					os.Exit(130)
+				}
 				fatal(err)
 			}
 			if d := time.Since(start); d < best {

@@ -3,6 +3,11 @@
 // whole suite at interactive scale, -full for the complete workload
 // sweeps, or -run id[,id...] for specific experiments.
 //
+// SIGINT/SIGTERM interrupt the suite cleanly: the in-progress
+// simulation aborts at its next event boundary, reports written so far
+// stay on disk, partial telemetry is flushed, and the process exits
+// with status 130.
+//
 // Usage:
 //
 //	stfm-experiments [-run fig6,fig9] [-full] [-instrs 200000] [-seed 1]
@@ -11,15 +16,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"stfm/internal/experiments"
+	"stfm/internal/sim"
 	"stfm/internal/telemetry"
 )
 
@@ -55,13 +66,16 @@ func main() {
 		defer stop()
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := experiments.DefaultOptions()
 	opts.InstrTarget = *instrs
 	opts.Seed = *seed
 	if *useTel {
 		opts.Telemetry = telemetry.Options{SampleEvery: *sampleEvery, TraceCap: telemetry.DefaultTraceCap}
 	}
-	runner := experiments.NewRunner(opts)
+	runner := experiments.NewRunnerContext(ctx, opts)
 
 	var list []experiments.Experiment
 	if *run == "" {
@@ -77,37 +91,64 @@ func main() {
 		}
 	}
 
-	for _, e := range list {
-		start := time.Now()
-		rep, err := e.Run(runner)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Print(rep.String())
-		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
-		if *outDir != "" {
-			path := filepath.Join(*outDir, e.ID+".txt")
-			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
-				os.Exit(1)
-			}
-		}
-	}
-
-	if *useTel {
-		if err := dumpTelemetry(runner, *telDir); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if code := runSuite(ctx, runner, list, *outDir, *telDir, *useTel, os.Stdout, os.Stderr); code != 0 {
+		stop()
+		os.Exit(code)
 	}
 }
 
+// runSuite executes the experiments in order, printing and writing each
+// report as it completes. When ctx is canceled (SIGINT/SIGTERM) it
+// stops, flushes the telemetry collected so far — including the partial
+// series of the interrupted run — and returns 130, the conventional
+// fatal-SIGINT exit status. Other failures return 1; success returns 0.
+func runSuite(ctx context.Context, runner *experiments.Runner, list []experiments.Experiment,
+	outDir, telDir string, useTel bool, stdout, stderr io.Writer) int {
+	for _, e := range list {
+		start := time.Now()
+		rep, err := e.Run(runner)
+		if ctx.Err() != nil || errors.Is(err, sim.ErrCanceled) || errors.Is(err, sim.ErrDeadline) {
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+			}
+			if useTel {
+				if derr := dumpTelemetry(runner, telDir, stdout); derr != nil {
+					fmt.Fprintln(stderr, derr)
+				}
+			}
+			fmt.Fprintln(stderr, "interrupted: partial telemetry flushed; completed reports were already written")
+			return 130
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Fprint(stdout, rep.String())
+		fmt.Fprintf(stdout, "(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if outDir != "" {
+			path := filepath.Join(outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+				fmt.Fprintf(stderr, "writing %s: %v\n", path, err)
+				return 1
+			}
+		}
+	}
+	if useTel {
+		if err := dumpTelemetry(runner, telDir, stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	return 0
+}
+
 // dumpTelemetry summarizes the telemetry of every shared run and, when
-// dir is non-empty, writes each run's time series as CSV there.
-func dumpTelemetry(runner *experiments.Runner, dir string) error {
+// dir is non-empty, writes each run's time series as CSV there. Runs
+// whose simulation was interrupted are included: their series carry the
+// samples taken up to the abort.
+func dumpTelemetry(runner *experiments.Runner, dir string, stdout io.Writer) error {
 	runs := runner.TimeSeries()
-	fmt.Printf("telemetry: %d shared runs recorded\n", len(runs))
+	fmt.Fprintf(stdout, "telemetry: %d shared runs recorded\n", len(runs))
 	if dir == "" {
 		return nil
 	}
@@ -128,6 +169,6 @@ func dumpTelemetry(runner *experiments.Runner, dir string) error {
 			return err
 		}
 	}
-	fmt.Printf("telemetry: wrote %d series to %s\n", len(runs), dir)
+	fmt.Fprintf(stdout, "telemetry: wrote %d series to %s\n", len(runs), dir)
 	return nil
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"stfm/internal/experiments"
+	"stfm/internal/sim"
+	"stfm/internal/telemetry"
+)
+
+// TestRunSuiteFlushesPartialTelemetryOnCancel drives the SIGINT path
+// deterministically: a synthetic experiment runs one real telemetered
+// workload, then cancels the context exactly as a signal would. The
+// suite must stop before the next experiment, flush the collected
+// series to the telemetry directory, and return the fatal-SIGINT exit
+// status 130.
+func TestRunSuiteFlushesPartialTelemetryOnCancel(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	opts := experiments.DefaultOptions()
+	opts.InstrTarget = 4000
+	opts.Telemetry = telemetry.Options{SampleEvery: 200, TraceCap: 1 << 10}
+	runner := experiments.NewRunnerContext(ctx, opts)
+
+	profs, err := experiments.Profiles("mcf", "h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran []string
+	list := []experiments.Experiment{
+		{ID: "first", Title: "runs, then the signal arrives", Run: func(r *experiments.Runner) (*experiments.Report, error) {
+			if _, err := r.RunWorkload(sim.PolicyFRFCFS, profs, nil); err != nil {
+				return nil, err
+			}
+			ran = append(ran, "first")
+			cancel()
+			return &experiments.Report{ID: "first", Title: "first"}, nil
+		}},
+		{ID: "second", Title: "must never run", Run: func(r *experiments.Runner) (*experiments.Report, error) {
+			ran = append(ran, "second")
+			return &experiments.Report{ID: "second", Title: "second"}, nil
+		}},
+	}
+
+	code := runSuite(ctx, runner, list, "", dir, true, io.Discard, io.Discard)
+	if code != 130 {
+		t.Fatalf("runSuite returned %d after cancellation, want 130", code)
+	}
+	if strings.Join(ran, ",") != "first" {
+		t.Fatalf("experiments run after cancellation: %v, want only the first", ran)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no partial telemetry CSVs were flushed to disk")
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".csv") {
+			t.Errorf("unexpected artifact %s", e.Name())
+		}
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("flushed series %s is empty", e.Name())
+		}
+	}
+}
+
+// TestRunSuiteCanceledMidRun covers the harder interrupt: the context
+// ends while a simulation is in flight. The workload run must abort
+// with sim.ErrCanceled, and the suite must still flush the aborted
+// run's partial series.
+func TestRunSuiteCanceledMidRun(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	opts := experiments.DefaultOptions()
+	opts.InstrTarget = 1_000_000 // long enough that cancellation wins
+	opts.Telemetry = telemetry.Options{SampleEvery: 100, TraceCap: 1 << 10}
+	runner := experiments.NewRunnerContext(ctx, opts)
+
+	profs, err := experiments.Profiles("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := []experiments.Experiment{
+		{ID: "interrupted", Title: "canceled mid-run", Run: func(r *experiments.Runner) (*experiments.Report, error) {
+			cancel() // the "signal" arrives before/while the run executes
+			if _, err := r.RunWorkload(sim.PolicyFRFCFS, profs, nil); err != nil {
+				return nil, err
+			}
+			return &experiments.Report{ID: "interrupted"}, nil
+		}},
+	}
+	code := runSuite(ctx, runner, list, "", dir, true, io.Discard, io.Discard)
+	if code != 130 {
+		t.Fatalf("runSuite returned %d, want 130", code)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("aborted run's partial telemetry was not flushed")
+	}
+}

@@ -20,11 +20,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"stfm/internal/core"
 	"stfm/internal/dram"
@@ -86,13 +90,16 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := experiments.DefaultOptions()
 	opts.InstrTarget = *instrs
 	opts.Seed = *seed
 	if *useTel {
 		opts.Telemetry = telemetry.Options{SampleEvery: *sampleEvery, TraceCap: telemetry.DefaultTraceCap}
 	}
-	runner := experiments.NewRunner(opts)
+	runner := experiments.NewRunnerContext(ctx, opts)
 	wr, err := runner.RunWorkload(sim.PolicyKind(*policy), profs, func(c *sim.Config) {
 		c.UseCaches = *caches
 		c.STFM = core.DefaultConfig()
@@ -107,6 +114,18 @@ func main() {
 		}
 	})
 	if err != nil {
+		if errors.Is(err, sim.ErrCanceled) || errors.Is(err, sim.ErrDeadline) {
+			// Interrupted: flush whatever telemetry the aborted run
+			// collected, then exit with the fatal-SIGINT status.
+			fmt.Fprintln(os.Stderr, "stfm-sim:", err)
+			if *useTel {
+				if werr := writeTelemetry(runner, *traceOut, *traceJSONL, *seriesOut); werr != nil {
+					fmt.Fprintln(os.Stderr, "stfm-sim:", werr)
+				}
+			}
+			stop()
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 

@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"stfm/internal/core"
@@ -37,6 +41,13 @@ func main() {
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and periodic runtime metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the sweep: CSV rows already printed stay on
+	// stdout (each row flushes as it completes), the in-progress run
+	// aborts at its next event boundary, and the tool exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx = ctx
 
 	if *pprof != "" {
 		stop, err := telemetry.ServeProfiling(*pprof, 10*time.Second, log.New(os.Stderr, "stfm-sweep: ", 0).Printf)
@@ -76,12 +87,21 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stfm-sweep:", err)
+		if errors.Is(err, sim.ErrCanceled) || errors.Is(err, sim.ErrDeadline) {
+			fmt.Fprintln(os.Stderr, "stfm-sweep: interrupted; completed CSV rows were already written to stdout")
+			stop()
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
+// runCtx bounds every sweep simulation; main swaps in the
+// signal-canceled context before any sweep starts.
+var runCtx = context.Background()
+
 func runner(instrs int64, seed uint64, geom *dram.Geometry, channels int) *experiments.Runner {
-	return experiments.NewRunner(experiments.Options{
+	return experiments.NewRunnerContext(runCtx, experiments.Options{
 		InstrTarget: instrs, MinMisses: 150, Seed: seed, Geometry: geom, Channels: channels,
 	})
 }

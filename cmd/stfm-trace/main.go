@@ -13,13 +13,37 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"stfm/internal/dram"
 	"stfm/internal/trace"
 )
+
+// cancelableStream wraps a trace.Stream and aborts the dump when the
+// surrounding context ends, checking cheaply every 4096 accesses so
+// writing multi-million-access files stays interruptible.
+type cancelableStream struct {
+	trace.Stream
+	ctx context.Context
+	n   int
+}
+
+func (c *cancelableStream) Next() (trace.Access, bool) {
+	if c.n&4095 == 0 {
+		select {
+		case <-c.ctx.Done():
+			return trace.Access{}, false
+		default:
+		}
+	}
+	c.n++
+	return c.Stream.Next()
+}
 
 func main() {
 	var (
@@ -30,6 +54,9 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "generator seed")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	prof, err := trace.ByName(*bench)
 	if err != nil {
@@ -49,13 +76,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "stfm-trace:", err)
 			os.Exit(1)
 		}
-		if err := trace.WriteAccesses(f, gen, *n); err != nil {
+		if err := trace.WriteAccesses(f, &cancelableStream{Stream: gen, ctx: ctx}, *n); err != nil {
 			fmt.Fprintln(os.Stderr, "stfm-trace:", err)
 			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "stfm-trace:", err)
 			os.Exit(1)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "stfm-trace: interrupted; %s holds a partial stream\n", *out)
+			stop()
+			os.Exit(130)
 		}
 		fmt.Printf("wrote %d accesses of %s to %s\n", *n, prof.Name, *out)
 		return
@@ -64,6 +96,11 @@ func main() {
 	if *dump > 0 {
 		fmt.Printf("%-10s %-6s %-12s %-4s %-6s %-6s %-5s\n", "gap", "kind", "lineaddr", "ch", "bank", "row", "col")
 		for i := int64(0); i < *dump; i++ {
+			if i&4095 == 0 && ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "stfm-trace: interrupted")
+				stop()
+				os.Exit(130)
+			}
 			a, _ := gen.Next()
 			loc := geom.Map(a.LineAddr)
 			kind := "LD"
@@ -82,6 +119,11 @@ func main() {
 		lastRow              = map[int]int{} // bank -> last row
 	)
 	for i := int64(0); i < *n; i++ {
+		if i&4095 == 0 && ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "stfm-trace: interrupted before statistics were complete")
+			stop()
+			os.Exit(130)
+		}
 		a, _ := gen.Next()
 		instr += a.Gap
 		loc := geom.Map(a.LineAddr)

@@ -208,6 +208,27 @@ func (s *STFM) Interference(thread int) float64 { return s.tinterf[thread] }
 // threads).
 func (s *STFM) Unfairness() float64 { return s.unfairness }
 
+// CheckFinite verifies that every slowdown and interference register —
+// the state the scheduler's decisions feed on — holds a finite value.
+// The registers are built from divisions of accumulated cycle counts
+// (Section 3.1), so a NaN or infinity means an accounting bug that
+// would silently corrupt scheduling; the invariant self-checks in the
+// run harness call this to fail loudly instead.
+func (s *STFM) CheckFinite() error {
+	for i := range s.slowdowns {
+		if math.IsNaN(s.slowdowns[i]) || math.IsInf(s.slowdowns[i], 0) {
+			return fmt.Errorf("stfm: thread %d slowdown register is %v", i, s.slowdowns[i])
+		}
+		if math.IsNaN(s.tinterf[i]) || math.IsInf(s.tinterf[i], 0) {
+			return fmt.Errorf("stfm: thread %d interference register is %v", i, s.tinterf[i])
+		}
+	}
+	if math.IsNaN(s.unfairness) || math.IsInf(s.unfairness, 0) {
+		return fmt.Errorf("stfm: unfairness register is %v", s.unfairness)
+	}
+	return nil
+}
+
 // FairnessMode reports whether the fairness rule (Section 3.2.1) was
 // engaged at the last DRAM cycle — i.e. unfairness exceeded α and the
 // most slowed-down thread is jumping the queue. The telemetry sampler

@@ -213,14 +213,32 @@ func (c *Channel) NextRefresh() int64 {
 	return c.nextRefreshAt
 }
 
+// TimingError reports a DRAM timing-legality violation: a command was
+// issued before the bank state and timing constraints allowed it. It is
+// the panic value raised by Issue — a scheduler bug, not a runtime
+// condition — so that run harnesses recovering the panic can surface
+// the offending command, bank, and cycle as structured data instead of
+// a formatted string.
+type TimingError struct {
+	Kind  CommandKind
+	Bank  int
+	Cycle int64
+}
+
+// Error implements error.
+func (e *TimingError) Error() string {
+	return fmt.Sprintf("dram: command %v to bank %d not ready at cycle %d", e.Kind, e.Bank, e.Cycle)
+}
+
 // Issue executes cmd at cycle now. For column accesses it returns the
 // cycle at which the data burst completes (the request's data is
-// available then); for row commands it returns 0. Issue panics if the
-// command is not ready — the controller must check CanIssue first; a
-// violation is a scheduler bug, not a runtime condition.
+// available then); for row commands it returns 0. Issue panics with a
+// *TimingError if the command is not ready — the controller must check
+// CanIssue first; a violation is a scheduler bug, not a runtime
+// condition.
 func (c *Channel) Issue(cmd Command, now int64) (burstDone int64) {
 	if !c.CanIssue(cmd, now) {
-		panic(fmt.Sprintf("dram: command %v to bank %d not ready at cycle %d", cmd.Kind, cmd.Bank, now))
+		panic(&TimingError{Kind: cmd.Kind, Bank: cmd.Bank, Cycle: now})
 	}
 	b := &c.banks[cmd.Bank]
 	switch cmd.Kind {

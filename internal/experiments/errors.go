@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stfm/internal/sim"
+)
+
+// JobError attributes one failed cell of a workload × policy matrix to
+// its coordinates. RunMatrix converts both plain run errors and
+// recovered panics into JobErrors joined with errors.Join, so a single
+// bad cell never kills the matrix and the caller can errors.As its way
+// to each failure. Stack holds the recovered goroutine stack when the
+// cell panicked, nil otherwise.
+type JobError struct {
+	Mix    string
+	Policy sim.PolicyKind
+	Err    error
+	Stack  []byte
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	msg := fmt.Sprintf("%s under %s: %v", e.Mix, e.Policy, e.Err)
+	if len(e.Stack) > 0 {
+		msg += "\n" + string(e.Stack)
+	}
+	return msg
+}
+
+// Unwrap exposes the cell's underlying error to errors.Is / errors.As
+// (e.g. matching sim.ErrCanceled across every cell of a canceled
+// matrix).
+func (e *JobError) Unwrap() error { return e.Err }

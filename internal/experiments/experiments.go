@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -51,6 +52,10 @@ func DefaultOptions() Options {
 // (Section 6.2).
 type Runner struct {
 	opts Options
+	// ctx bounds every simulation the runner starts: when it is
+	// canceled, in-progress runs abort with partial results and
+	// sim.ErrCanceled / sim.ErrDeadline.
+	ctx context.Context
 
 	mu    sync.Mutex
 	alone map[string]sim.ThreadResult
@@ -67,10 +72,21 @@ type RunTelemetry struct {
 
 // NewRunner creates a Runner with the given options.
 func NewRunner(opts Options) *Runner {
+	return NewRunnerContext(context.Background(), opts)
+}
+
+// NewRunnerContext creates a Runner whose simulations observe ctx:
+// cancellation (e.g. from signal.NotifyContext) aborts the in-progress
+// run at the next event-horizon boundary, so a SIGINT'd experiment
+// suite stops quickly while keeping the telemetry collected so far.
+func NewRunnerContext(ctx context.Context, opts Options) *Runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.InstrTarget <= 0 {
 		opts.InstrTarget = DefaultOptions().InstrTarget
 	}
-	return &Runner{opts: opts, alone: make(map[string]sim.ThreadResult)}
+	return &Runner{opts: opts, ctx: ctx, alone: make(map[string]sim.ThreadResult)}
 }
 
 // Options returns the runner's options.
@@ -109,7 +125,7 @@ func (r *Runner) Alone(p trace.Profile, channels int) (sim.ThreadResult, error) 
 
 	cfg := r.baseConfig(sim.PolicyFRFCFS, 1)
 	cfg.Channels = channels
-	res, err := sim.Run(cfg, []trace.Profile{p})
+	res, err := sim.RunContext(r.ctx, cfg, []trace.Profile{p})
 	if err != nil {
 		return sim.ThreadResult{}, fmt.Errorf("alone run of %s: %w", p.Name, err)
 	}
@@ -159,11 +175,11 @@ func (r *Runner) RunWorkload(policy sim.PolicyKind, profiles []trace.Profile, mu
 		col = telemetry.New(r.opts.Telemetry)
 		cfg.Telemetry = col
 	}
-	res, err := sim.Run(cfg, profiles)
-	if err != nil {
-		return nil, err
-	}
+	res, err := sim.RunContext(r.ctx, cfg, profiles)
 	if col != nil {
+		// Record the collector even when the run failed or was
+		// canceled: a partial time series is exactly what an
+		// interrupted run should still flush to disk.
 		r.mu.Lock()
 		r.runs = append(r.runs, RunTelemetry{
 			Policy:     policy,
@@ -171,6 +187,9 @@ func (r *Runner) RunWorkload(policy sim.PolicyKind, profiles []trace.Profile, mu
 			Collector:  col,
 		})
 		r.mu.Unlock()
+	}
+	if err != nil {
+		return nil, err
 	}
 	wr := &WorkloadResult{
 		Policy:     policy,

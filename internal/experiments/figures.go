@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -360,15 +361,35 @@ func (r *Runner) RunMatrix(mixes []workloads.Mix, policies []sim.PolicyKind, mut
 	var wg sync.WaitGroup
 	var errs []error
 	workers := runtime.GOMAXPROCS(0)
+	// runCell isolates one matrix cell: a panic anywhere inside the
+	// run (a scheduler bug, a bad mutate) is recovered into a JobError
+	// with the goroutine stack, so the worker — and with it every other
+	// queued cell — survives.
+	runCell := func(j job) (wr *WorkloadResult, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				wr = nil
+				err = &JobError{
+					Mix: mixes[j.mix].Name, Policy: j.pol,
+					Err: fmt.Errorf("panic: %v", v), Stack: debug.Stack(),
+				}
+			}
+		}()
+		wr, err = r.RunWorkload(j.pol, mixes[j.mix].Profiles, mutate)
+		if err != nil {
+			err = &JobError{Mix: mixes[j.mix].Name, Policy: j.pol, Err: err}
+		}
+		return wr, err
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				wr, err := r.RunWorkload(j.pol, mixes[j.mix].Profiles, mutate)
+				wr, err := runCell(j)
 				mu.Lock()
 				if err != nil {
-					errs = append(errs, fmt.Errorf("%s under %s: %w", mixes[j.mix].Name, j.pol, err))
+					errs = append(errs, err)
 				} else {
 					out[j.mix][j.pol] = wr
 				}

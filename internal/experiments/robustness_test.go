@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"stfm/internal/sim"
+	"stfm/internal/workloads"
+)
+
+// TestRunMatrixIsolatesPanickingCell: a panic inside one (mix, policy)
+// cell — here injected through the mutate hook, standing in for a
+// scheduler bug — must not take down the worker pool. Every other cell
+// completes, and the panic surfaces as a *JobError carrying the cell's
+// coordinates and the recovered goroutine stack.
+func TestRunMatrixIsolatesPanickingCell(t *testing.T) {
+	opts := DefaultOptions()
+	opts.InstrTarget = 5000
+	r := NewRunner(opts)
+	mixes := workloads.SampleFourCore()[:2]
+	policies := []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicyFCFS}
+	out, err := r.RunMatrix(mixes, policies, func(c *sim.Config) {
+		if c.Policy == sim.PolicyFCFS {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("panicking cells must surface in the joined error")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v, want a *JobError in the chain", err)
+	}
+	if je.Policy != sim.PolicyFCFS {
+		t.Errorf("JobError names policy %s, want the panicking %s", je.Policy, sim.PolicyFCFS)
+	}
+	if len(je.Stack) == 0 {
+		t.Error("JobError carries no goroutine stack for the panic")
+	}
+	for i := range mixes {
+		if out[i][sim.PolicyFRFCFS] == nil {
+			t.Errorf("mix %d: healthy FR-FCFS cell missing — panic leaked across cells", i)
+		}
+		if out[i][sim.PolicyFCFS] != nil {
+			t.Errorf("mix %d: panicking FCFS cell produced a result", i)
+		}
+	}
+}

@@ -107,3 +107,43 @@ func TestEquivalenceTruncated(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckedEquivalence extends the differential test to the
+// robustness layer: turning on the invariant self-checks and a tight
+// watchdog window must not perturb the schedule. The checks are
+// read-only and observe at fixed cycle boundaries (event jumps clamp to
+// them exactly like sampling boundaries), so a checked run — dense or
+// event-driven — must be bit-identical to an unchecked one.
+func TestCheckedEquivalence(t *testing.T) {
+	t.Parallel()
+	profiles, err := Profiles("mcf", "libquantum", "GemsFDTD", "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.DefaultConfig(sim.PolicySTFM, len(profiles))
+	base.InstrTarget = 20_000
+	base.MinMisses = 40
+
+	run := func(dense, checked bool) *sim.Result {
+		cfg := base
+		cfg.DenseTick = dense
+		if checked {
+			cfg.CheckInvariants = true
+			cfg.WatchdogCycles = 7_001 // deliberately not a DRAM-edge multiple
+		}
+		res, err := sim.Run(cfg, profiles)
+		if err != nil {
+			t.Fatalf("dense=%v checked=%v: %v", dense, checked, err)
+		}
+		return res
+	}
+	plain := run(false, false)
+	for _, c := range []struct {
+		name  string
+		dense bool
+	}{{"event", false}, {"dense", true}} {
+		if got := run(c.dense, true); !reflect.DeepEqual(plain, got) {
+			t.Errorf("%s checked run diverges from unchecked\nplain:   %+v\nchecked: %+v", c.name, plain, got)
+		}
+	}
+}

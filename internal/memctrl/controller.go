@@ -96,6 +96,12 @@ type Controller struct {
 	nextID       uint64
 	queuedReads  int
 	queuedWrites int
+	// enqueuedReads/enqueuedWrites count every accepted request over
+	// the controller's lifetime; with the serviced counters and the
+	// live queue/in-flight occupancy they form the request-conservation
+	// identity CheckInvariants verifies.
+	enqueuedReads  int64
+	enqueuedWrites int64
 	draining     []bool
 	queuedPerThr []int // queued read requests per thread
 	// inServiceBank[thread][channel*banks+bank] counts the thread's
@@ -242,6 +248,7 @@ func (c *Controller) EnqueueRead(now int64, thread int, lineAddr uint64, onCompl
 	r.OnComplete = onComplete
 	c.reads[r.Loc.Channel] = append(c.reads[r.Loc.Channel], r)
 	c.queuedReads++
+	c.enqueuedReads++
 	c.queuedPerThr[thread]++
 	if c.trace != nil {
 		c.traceLifecycle(telemetry.EvEnqueue, now, r)
@@ -259,6 +266,7 @@ func (c *Controller) EnqueueWrite(now int64, thread int, lineAddr uint64) bool {
 	r := c.newRequest(now, thread, lineAddr, true)
 	c.writes[r.Loc.Channel] = append(c.writes[r.Loc.Channel], r)
 	c.queuedWrites++
+	c.enqueuedWrites++
 	if c.trace != nil {
 		c.traceLifecycle(telemetry.EvEnqueue, now, r)
 	}

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"math"
 
 	"stfm/internal/dram"
 	"stfm/internal/memctrl"
@@ -63,22 +64,25 @@ func NewNFQ(numThreads, channels, banksPerChannel int, timing dram.Timing) *NFQ 
 // SetShares assigns each thread a fraction of DRAM bandwidth
 // proportional to its weight, the mechanism NFQ uses to honor system
 // software priorities (paper Section 7.5: a thread with weight w gets
-// share w / Σweights). It panics on a length mismatch or non-positive
-// weight, which are programming errors.
-func (p *NFQ) SetShares(weights []float64) {
+// share w / Σweights). Weights come from user configuration (command
+// lines, experiment sweeps), so validation failures — a length
+// mismatch or a weight that is not positive and finite — are returned
+// as errors, leaving the current shares untouched.
+func (p *NFQ) SetShares(weights []float64) error {
 	if len(weights) != len(p.shares) {
-		panic(fmt.Sprintf("policy: NFQ.SetShares got %d weights for %d threads", len(weights), len(p.shares)))
+		return fmt.Errorf("policy: NFQ.SetShares got %d weights for %d threads", len(weights), len(p.shares))
 	}
 	var sum float64
 	for _, w := range weights {
-		if w <= 0 {
-			panic("policy: NFQ thread weights must be positive")
+		if !(w > 0) || math.IsInf(w, 1) {
+			return fmt.Errorf("policy: NFQ thread weight %v must be positive and finite", w)
 		}
 		sum += w
 	}
 	for i, w := range weights {
 		p.shares[i] = w / sum
 	}
+	return nil
 }
 
 // Name implements memctrl.Policy.

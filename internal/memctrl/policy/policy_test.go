@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"math"
 	"testing"
 
 	"stfm/internal/dram"
@@ -148,7 +149,9 @@ func TestNFQSharesScaleCharges(t *testing.T) {
 	tm := dram.DefaultTiming()
 	pEq := NewNFQ(2, 1, 8, tm)
 	pWt := NewNFQ(2, 1, 8, tm)
-	pWt.SetShares([]float64{1, 9}) // thread 1 gets 90% of bandwidth
+	if err := pWt.SetShares([]float64{1, 9}); err != nil { // thread 1 gets 90% of bandwidth
+		t.Fatal(err)
+	}
 
 	for _, p := range []*NFQ{pEq, pWt} {
 		c := cand(1, 1, dram.CmdRead, 0, 0)
@@ -167,8 +170,22 @@ func TestNFQSharesScaleCharges(t *testing.T) {
 
 func TestNFQSetSharesValidation(t *testing.T) {
 	p := NewNFQ(2, 1, 8, dram.DefaultTiming())
-	mustPanic(t, func() { p.SetShares([]float64{1}) })
-	mustPanic(t, func() { p.SetShares([]float64{1, 0}) })
+	for _, bad := range [][]float64{
+		{1},                        // length mismatch
+		{1, 0},                     // non-positive weight
+		{1, -3},                    // negative weight
+		{1, math.NaN()},            // NaN weight
+		{1, math.Inf(1)},           // infinite weight
+		{math.Inf(1), math.Inf(1)}, // all infinite
+	} {
+		if err := p.SetShares(bad); err == nil {
+			t.Errorf("SetShares(%v) should return an error", bad)
+		}
+	}
+	// A failed call must leave the previous (equal) shares untouched.
+	if err := p.SetShares([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestNFQPriorityInversionPrevention(t *testing.T) {
@@ -218,14 +235,4 @@ func TestPolicyNames(t *testing.T) {
 		}
 		tc.p.BeginCycle(0) // must not panic
 	}
-}
-
-func mustPanic(t *testing.T, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	f()
 }

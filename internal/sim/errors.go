@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"stfm/internal/memctrl"
+)
+
+// This file defines the run harness's error taxonomy (DESIGN.md §12):
+//
+//   - ErrCanceled / ErrDeadline tag partial results returned when the
+//     context given to RunContext ends the run early;
+//   - StallError is the forward-progress watchdog's diagnosis of a
+//     livelocked configuration;
+//   - SimError wraps invariant violations and recovered panics with
+//     the cycle they surfaced at;
+//   - StreamError reports a trace stream that failed mid-run (which
+//     would otherwise masquerade as a short but clean trace).
+//
+// All of them are matchable with errors.Is / errors.As through any
+// wrapping the experiment layer adds.
+
+// ErrCanceled and ErrDeadline are the sentinel causes attached to the
+// error RunContext returns when its context is canceled or its
+// deadline passes. The accompanying *Result is a valid partial result:
+// threads that had not reached their instruction target are marked
+// Truncated.
+var (
+	ErrCanceled = errors.New("sim: run canceled")
+	ErrDeadline = errors.New("sim: run deadline exceeded")
+)
+
+// ctxErr translates a context's termination cause into the package's
+// sentinel taxonomy, stamped with the cycle the run stopped at.
+func ctxErr(ctx context.Context, cycle int64) error {
+	cause := ErrCanceled
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		cause = ErrDeadline
+	}
+	return fmt.Errorf("aborted at cycle %d: %w", cycle, cause)
+}
+
+// ThreadDiag is one thread's progress state inside a StallError dump.
+type ThreadDiag struct {
+	Benchmark   string
+	Committed   int64
+	StallCycles int64
+	// Outstanding is the thread's MSHR occupancy (outstanding L2
+	// misses) at the moment the watchdog fired.
+	Outstanding int
+	// Slowdown is STFM's slowdown estimate for the thread; zero under
+	// other policies.
+	Slowdown float64
+}
+
+// StallError reports that the forward-progress watchdog observed a
+// window of Window cycles ending at Cycle in which no core committed an
+// instruction and no DRAM command issued — a livelocked configuration.
+// The dump carries enough state to diagnose the wedge without re-running:
+// per-thread progress and MSHR occupancy, STFM's slowdown registers,
+// and the controller's queues and bank states.
+type StallError struct {
+	Cycle   int64
+	Window  int64
+	Threads []ThreadDiag
+	Queues  memctrl.Snapshot
+}
+
+// Error implements error, rendering the full diagnostic dump.
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: no instruction committed and no DRAM command issued for %d cycles (stalled at cycle %d)",
+		e.Window, e.Cycle)
+	for i, t := range e.Threads {
+		fmt.Fprintf(&b, "\n  thread %d %-14s committed=%d stall=%d mshr=%d", i, t.Benchmark, t.Committed, t.StallCycles, t.Outstanding)
+		if t.Slowdown != 0 {
+			fmt.Fprintf(&b, " slowdown=%.2f", t.Slowdown)
+		}
+	}
+	b.WriteByte('\n')
+	b.WriteString(e.Queues.String())
+	return b.String()
+}
+
+// SimError wraps a self-check failure — an invariant violation detected
+// by Config.CheckInvariants or a panic recovered by RunContext (for
+// example a *dram.TimingError raised on an illegal command) — with the
+// cycle it surfaced at. Check names the failing check; Stack is the
+// recovered goroutine stack for panics, nil for plain invariant
+// failures.
+type SimError struct {
+	Cycle int64
+	Check string
+	Err   error
+	Stack []byte
+}
+
+// Error implements error.
+func (e *SimError) Error() string {
+	msg := fmt.Sprintf("sim: %s check failed at cycle %d: %v", e.Check, e.Cycle, e.Err)
+	if len(e.Stack) > 0 {
+		msg += "\n" + string(e.Stack)
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *SimError) Unwrap() error { return e.Err }
+
+// StreamError reports that a thread's externally supplied trace stream
+// (Config.Streams) failed mid-run. Without it a parse or I/O error is
+// indistinguishable from a legitimately short trace: the stream just
+// stops, the core drains, and the run "succeeds" on corrupt input.
+type StreamError struct {
+	Thread    int
+	Benchmark string
+	Err       error
+}
+
+// Error implements error.
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("sim: thread %d (%s) trace stream failed: %v", e.Thread, e.Benchmark, e.Err)
+}
+
+// Unwrap exposes the stream's error to errors.Is / errors.As.
+func (e *StreamError) Unwrap() error { return e.Err }
+
+// panicErr normalizes a recovered panic value into an error.
+func panicErr(v any) error {
+	if err, ok := v.(error); ok {
+		return err
+	}
+	return fmt.Errorf("panic: %v", v)
+}

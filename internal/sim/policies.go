@@ -19,7 +19,9 @@ func newCap(cap int, geom dram.Geometry) memctrl.Policy {
 func newNFQ(threads int, geom dram.Geometry, timing dram.Timing, weights []float64) (memctrl.Policy, error) {
 	p := policy.NewNFQ(threads, geom.Channels, geom.BanksPerChannel, timing)
 	if weights != nil {
-		p.SetShares(weights)
+		if err := p.SetShares(weights); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }

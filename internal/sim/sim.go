@@ -10,7 +10,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"stfm/internal/cache"
 	"stfm/internal/core"
@@ -110,6 +112,24 @@ type Config struct {
 	// exists as the differential-testing escape hatch and for debugging
 	// with per-cycle traces.
 	DenseTick bool
+	// WatchdogCycles sets the forward-progress watchdog window in CPU
+	// cycles: if no core commits an instruction and no DRAM command
+	// issues for a full window, the run aborts with a *StallError
+	// carrying a diagnostic dump instead of silently burning the cycle
+	// budget. 0 selects DefaultWatchdogCycles; a negative value
+	// disables the watchdog. The watchdog observes at fixed cycle
+	// boundaries under both dense and event-driven stepping, so
+	// schedules stay bit-identical with it on or off.
+	WatchdogCycles int64
+	// CheckInvariants enables opt-in self-checks at every watchdog
+	// boundary and at the end of the run: controller request
+	// conservation and queue accounting, MSHR occupancy bounds, and
+	// finiteness of STFM's slowdown registers. Violations — and any
+	// panic raised inside the run, such as a *dram.TimingError on an
+	// illegal command — surface as a structured *SimError. The checks
+	// are read-only, so checked runs stay bit-identical to unchecked
+	// ones (the equivalence tests assert it).
+	CheckInvariants bool
 	// Telemetry, if non-nil, attaches the observability layer: the
 	// collector's Tracer receives DRAM command and request lifecycle
 	// events from the controller, and its Series receives interval
@@ -122,9 +142,13 @@ type Config struct {
 }
 
 // DefaultConfig returns a baseline configuration for the given policy
-// and core count.
+// and core count: the channel count is seeded from the paper's
+// core-count scaling (ChannelsFor), which matches what NewSystem would
+// auto-derive for a workload of that size. Passing cores <= 0 leaves
+// Channels at 0, deferring the scaling to the actual workload size at
+// run time.
 func DefaultConfig(policy PolicyKind, cores int) Config {
-	return Config{
+	cfg := Config{
 		Policy:      policy,
 		InstrTarget: 300_000,
 		CoreCfg:     cpu.DefaultConfig(),
@@ -132,6 +156,10 @@ func DefaultConfig(policy PolicyKind, cores int) Config {
 		STFM:        core.DefaultConfig(),
 		Seed:        1,
 	}
+	if cores > 0 {
+		cfg.Channels = ChannelsFor(cores)
+	}
+	return cfg
 }
 
 // ChannelsFor returns the paper's channel scaling for a core count.
@@ -484,7 +512,37 @@ func (s *System) freeze(i int, now int64, truncated bool) {
 
 // Run advances the system until every thread has reached the
 // instruction target (or MaxCycles elapse) and returns the results.
-func (s *System) Run() (*Result, error) {
+func (s *System) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// DefaultWatchdogCycles is the forward-progress watchdog window used
+// when Config.WatchdogCycles is zero. Legitimate no-progress windows
+// are bounded by DRAM latencies — thousands of CPU cycles even with
+// refresh enabled — so a two-million-cycle window (0.5 ms of simulated
+// time at 4 GHz) cannot false-positive while still aborting a
+// livelocked run orders of magnitude before a default cycle budget.
+const DefaultWatchdogCycles = 2_000_000
+
+// RunContext is Run with cooperative cancellation: the context is
+// polled at event-horizon boundaries (near-zero cost — no extra work
+// inside the stepped window), so schedules are bit-identical to Run's.
+// When ctx is canceled or its deadline passes, RunContext freezes the
+// unfinished threads as Truncated and returns the partial Result
+// together with an error wrapping ErrCanceled or ErrDeadline.
+//
+// The run is additionally supervised by the forward-progress watchdog
+// (Config.WatchdogCycles) and, when Config.CheckInvariants is set, by
+// the invariant self-checks; see those fields for the failure modes.
+// Any panic raised inside the run — e.g. a *dram.TimingError on an
+// illegal DRAM command — is recovered and returned as a *SimError
+// instead of crashing the caller. Manual stepping via Tick is not
+// protected; only RunContext installs the recovery.
+func (s *System) RunContext(ctx context.Context) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &SimError{Cycle: s.now, Check: "panic", Err: panicErr(v), Stack: debug.Stack()}
+		}
+	}()
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles <= 0 {
 		// CPI rarely exceeds ~40 even for the most stalled thread in
@@ -497,7 +555,42 @@ func (s *System) Run() (*Result, error) {
 		}
 		maxCycles = longest * 80
 	}
+	done := ctx.Done()
+	// Watchdog state: the next boundary to observe at, and the progress
+	// counters seen at the previous boundary. Boundaries are fixed
+	// cycle numbers, and event-driven jumps are clamped to them below,
+	// so dense and event runs observe at identical cycles and the
+	// (read-only) observation can never perturb the schedule.
+	wdEvery := s.cfg.WatchdogCycles
+	if wdEvery == 0 {
+		wdEvery = DefaultWatchdogCycles
+	}
+	nextWatchdogAt := int64(horizon)
+	if wdEvery > 0 {
+		nextWatchdogAt = s.now + wdEvery
+	}
+	lastCommitted, lastCommands := s.progressCounters()
 	for s.now < maxCycles && !s.allFrozen() {
+		if done != nil {
+			select {
+			case <-done:
+				return s.finish(), ctxErr(ctx, s.now)
+			default:
+			}
+		}
+		if s.now >= nextWatchdogAt {
+			committed, commands := s.progressCounters()
+			if committed == lastCommitted && commands == lastCommands {
+				return s.finish(), s.stallError(wdEvery)
+			}
+			lastCommitted, lastCommands = committed, commands
+			if s.cfg.CheckInvariants {
+				if ierr := s.checkInvariants(); ierr != nil {
+					return s.finish(), ierr
+				}
+			}
+			nextWatchdogAt += wdEvery
+		}
 		next := s.step()
 		if next <= s.now || s.allFrozen() {
 			continue
@@ -505,9 +598,15 @@ func (s *System) Run() (*Result, error) {
 		// Every component is quiescent until next: jump there, bulk-
 		// accounting the cores' stall cycles for the skipped window.
 		// Clamping to maxCycles keeps truncated runs bit-identical to
-		// dense ticking (which would spin out the same dead cycles).
+		// dense ticking (which would spin out the same dead cycles);
+		// clamping to the watchdog boundary makes the watchdog observe
+		// quiescent windows too — an all-idle livelock must not jump
+		// straight past every boundary to the cycle cap.
 		if next > maxCycles {
 			next = maxCycles
+		}
+		if next > nextWatchdogAt {
+			next = nextWatchdogAt
 		}
 		// Sampling boundaries inside the quiescent window still get
 		// their snapshots: advance the cores' bulk accounting to each
@@ -532,6 +631,23 @@ func (s *System) Run() (*Result, error) {
 			s.now = next
 		}
 	}
+	res = s.finish()
+	if s.cfg.CheckInvariants {
+		if ierr := s.checkInvariants(); ierr != nil {
+			return res, ierr
+		}
+	}
+	if serr := s.streamErr(); serr != nil {
+		return res, serr
+	}
+	return res, nil
+}
+
+// finish freezes any still-running thread as truncated and assembles
+// the Result for the cycles simulated so far. It is the single exit
+// path for completed, truncated, and aborted runs alike, so partial
+// results carry the same metrics as complete ones.
+func (s *System) finish() *Result {
 	for i := range s.cores {
 		if !s.frozen[i] {
 			s.freeze(i, s.now, true)
@@ -554,7 +670,86 @@ func (s *System) Run() (*Result, error) {
 		res.STFMUnfairness = s.stfm.Unfairness()
 		res.STFMFairnessFraction = s.stfm.FairnessModeFraction()
 	}
-	return res, nil
+	return res
+}
+
+// progressCounters sums the system's two forward-progress signals:
+// instructions committed across all cores and DRAM commands issued
+// across all channels. Any legitimate activity — a compute-bound core,
+// a write drain, a precharge — moves at least one of them.
+func (s *System) progressCounters() (committed, commands int64) {
+	for _, c := range s.cores {
+		committed += c.Committed()
+	}
+	for i := 0; i < s.ctrl.Config().Geometry.Channels; i++ {
+		st := s.ctrl.Channel(i).Stats()
+		commands += st.Activates + st.Precharges + st.Reads + st.Writes
+	}
+	return committed, commands
+}
+
+// stallError assembles the watchdog's diagnostic dump.
+func (s *System) stallError(window int64) *StallError {
+	e := &StallError{Cycle: s.now, Window: window, Queues: s.ctrl.Snapshot(s.now)}
+	for i, c := range s.cores {
+		d := ThreadDiag{
+			Benchmark:   s.profiles[i].Name,
+			Committed:   c.Committed(),
+			StallCycles: c.MemStallCycles(),
+		}
+		if s.ports != nil {
+			d.Outstanding = s.ports[i].outstanding
+		} else if s.hier != nil {
+			d.Outstanding = s.hier[i].OutstandingMisses()
+		}
+		if s.stfm != nil {
+			d.Slowdown = s.stfm.Slowdown(i)
+		}
+		e.Threads = append(e.Threads, d)
+	}
+	return e
+}
+
+// checkInvariants runs the opt-in self-checks: controller accounting
+// and request conservation, MSHR occupancy bounds, and STFM register
+// finiteness. All checks are read-only.
+func (s *System) checkInvariants() error {
+	if err := s.ctrl.CheckInvariants(); err != nil {
+		return &SimError{Cycle: s.now, Check: "memctrl", Err: err}
+	}
+	for i, p := range s.ports {
+		if p.outstanding < 0 || p.outstanding > p.mshrs {
+			return &SimError{Cycle: s.now, Check: "mshr",
+				Err: fmt.Errorf("thread %d has %d outstanding misses (MSHRs=%d)", i, p.outstanding, p.mshrs)}
+		}
+	}
+	for i, h := range s.hier {
+		if n := h.OutstandingMisses(); n < 0 || n > s.cfg.MSHRs {
+			return &SimError{Cycle: s.now, Check: "mshr",
+				Err: fmt.Errorf("thread %d hierarchy has %d outstanding misses (MSHRs=%d)", i, n, s.cfg.MSHRs)}
+		}
+	}
+	if s.stfm != nil {
+		if err := s.stfm.CheckFinite(); err != nil {
+			return &SimError{Cycle: s.now, Check: "stfm", Err: err}
+		}
+	}
+	return nil
+}
+
+// streamErr surfaces errors from externally supplied trace streams
+// after the run drains them. A failing stream otherwise looks like a
+// short but clean trace: Next returns ok=false, the core finishes, and
+// corrupt input silently yields a plausible result.
+func (s *System) streamErr() error {
+	for i, st := range s.cfg.Streams {
+		if es, ok := st.(interface{ Err() error }); ok {
+			if err := es.Err(); err != nil {
+				return &StreamError{Thread: i, Benchmark: s.profiles[i].Name, Err: err}
+			}
+		}
+	}
+	return nil
 }
 
 func (s *System) allFrozen() bool {
@@ -569,11 +764,18 @@ func (s *System) allFrozen() bool {
 // Run is the one-call entry point: build a system for the workload and
 // run it to completion.
 func Run(cfg Config, profiles []trace.Profile) (*Result, error) {
+	return RunContext(context.Background(), cfg, profiles)
+}
+
+// RunContext is Run with cooperative cancellation; see
+// System.RunContext for the cancellation, watchdog, and self-check
+// semantics.
+func RunContext(ctx context.Context, cfg Config, profiles []trace.Profile) (*Result, error) {
 	s, err := NewSystem(cfg, profiles)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }
 
 // directPort adapts the memory controller as a core's Memory port for

@@ -20,7 +20,10 @@ import (
 // ignored. The format lets users bring externally captured traces to
 // the simulator and lets generated workloads be archived and diffed.
 
-// WriteAccesses writes n accesses from s to w in the text format.
+// WriteAccesses writes n accesses from s to w in the text format. If
+// the stream ends early because it failed (it implements Err() error
+// and reports one), that error is returned — a short stream must never
+// silently produce a short but plausible-looking trace file.
 func WriteAccesses(w io.Writer, s Stream, n int64) error {
 	bw := bufio.NewWriter(w)
 	for i := int64(0); i < n; i++ {
@@ -40,15 +43,28 @@ func WriteAccesses(w io.Writer, s Stream, n int64) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if es, ok := s.(interface{ Err() error }); ok {
+		if err := es.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // FileStream reads accesses from a text trace. It implements Stream;
-// Next returns ok=false at EOF. Parse errors surface through Err.
+// Next returns ok=false at EOF. Parse and I/O errors surface through
+// Err, located by line number and byte offset; after an error the
+// stream stays terminated (Next keeps returning ok=false). The
+// simulation surfaces a non-nil Err at the end of a run as a
+// sim.StreamError, so corrupt input can never pass for a short trace.
 type FileStream struct {
-	sc   *bufio.Scanner
-	line int
-	err  error
+	sc     *bufio.Scanner
+	line   int
+	offset int64 // byte offset of the start of the current line
+	err    error
 }
 
 // NewFileStream wraps a reader containing a text trace.
@@ -68,19 +84,24 @@ func (f *FileStream) Next() (Access, bool) {
 	}
 	for f.sc.Scan() {
 		f.line++
+		lineStart := f.offset
+		// The scanner strips the newline; account for it so offsets
+		// stay exact across records. (A final unterminated line
+		// over-counts by one, harmlessly — it is the last record.)
+		f.offset += int64(len(f.sc.Bytes())) + 1
 		text := strings.TrimSpace(f.sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
 		a, err := parseAccess(text)
 		if err != nil {
-			f.err = fmt.Errorf("trace: line %d: %w", f.line, err)
+			f.err = fmt.Errorf("trace: line %d (byte offset %d): %w", f.line, lineStart, err)
 			return Access{}, false
 		}
 		return a, true
 	}
 	if err := f.sc.Err(); err != nil {
-		f.err = err
+		f.err = fmt.Errorf("trace: line %d (byte offset %d): %w", f.line+1, f.offset, err)
 	}
 	return Access{}, false
 }

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzFileStream hammers the text trace parser with arbitrary input.
+// The contract under fuzzing: Next never panics, a stream that stops
+// early always reports a located error through Err (never a silent
+// short read of malformed input), and a stream that drains with a nil
+// Err parsed every non-comment line.
+func FuzzFileStream(f *testing.F) {
+	f.Add([]byte("10 L 4096 0 0\n"))
+	f.Add([]byte("5 W 0x1f00\n# comment\n\n3 L 123 1 1\n"))
+	f.Add([]byte("bad line\n"))
+	f.Add([]byte("10 L\n"))
+	f.Add([]byte("-1 L 5\n"))
+	f.Add([]byte("10 X 5\n"))
+	f.Add([]byte("10 L 0xzz\n"))
+	f.Add([]byte("1 L 2 notanint\n"))
+	f.Add([]byte("1 L 2 3 7\n"))
+	f.Add([]byte("\xff\xfe L 2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := NewFileStream(bytes.NewReader(data))
+		records := 0
+		for {
+			_, ok := fs.Next()
+			if !ok {
+				break
+			}
+			records++
+		}
+		if err := fs.Err(); err != nil {
+			msg := err.Error()
+			if !strings.Contains(msg, "line ") || !strings.Contains(msg, "byte offset ") {
+				t.Errorf("error %q does not locate the bad record", msg)
+			}
+			// A failed stream must stay terminated.
+			if _, ok := fs.Next(); ok {
+				t.Error("Next returned ok after Err became non-nil")
+			}
+		}
+	})
+}
+
+// TestFileStreamErrorOffset pins the location carried by a parse
+// error: line number and the byte offset of the corrupt record's first
+// byte.
+func TestFileStreamErrorOffset(t *testing.T) {
+	input := "10 L 4096 0 0\n# comment\n3 W 8192\nGARBAGE RECORD\n"
+	fs := NewFileStream(strings.NewReader(input))
+	n := 0
+	for {
+		if _, ok := fs.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("parsed %d records before the corrupt one, want 2", n)
+	}
+	err := fs.Err()
+	if err == nil {
+		t.Fatal("corrupt record must surface through Err")
+	}
+	wantOffset := int64(strings.Index(input, "GARBAGE"))
+	for _, frag := range []string{"line 4", "byte offset 33", "GARBAGE"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q (corrupt record starts at offset %d)", err, frag, wantOffset)
+		}
+	}
+	if _, ok := fs.Next(); ok {
+		t.Error("Next must keep returning ok=false after an error")
+	}
+}
+
+// TestWriteAccessesPropagatesStreamError pins the no-silent-short-read
+// contract of WriteAccesses: copying from a stream that fails mid-way
+// returns the stream's error instead of a short file and a nil error.
+func TestWriteAccessesPropagatesStreamError(t *testing.T) {
+	src := NewFileStream(strings.NewReader("1 L 64\n2 L 128\nnot a record\n"))
+	var out bytes.Buffer
+	err := WriteAccesses(&out, src, 100)
+	if err == nil {
+		t.Fatal("WriteAccesses must propagate the source stream's error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("propagated error %q should locate the corrupt record", err)
+	}
+}
