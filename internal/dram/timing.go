@@ -10,6 +10,8 @@
 // command clock ticks once every CPUCyclesPerDRAMCycle CPU cycles.
 package dram
 
+import "fmt"
+
 // Timing collects the DRAM timing constraints used by the model, in CPU
 // cycles. The defaults (see DefaultTiming) correspond to Micron
 // DDR2-800 as quoted in Table 2 of the paper: tCL = tRCD = tRP = 15 ns
@@ -68,6 +70,31 @@ type Timing struct {
 	// RTW is the read-to-write turnaround the controller must leave
 	// between a read burst's completion and the next write command.
 	RTW int64
+}
+
+// Validate reports an error if the timing is not usable: the bank and
+// bus latencies that every command path divides time by must be at
+// least one cycle, every constraint must be non-negative, and refresh
+// must be either fully configured or fully off. Deliberately extreme
+// but non-negative values (e.g. a livelock-inducing tRCD) are accepted
+// — they are legal configurations, just pathological ones.
+func (t Timing) Validate() error {
+	switch {
+	case t.CL < 1 || t.RCD < 1 || t.RP < 1:
+		return fmt.Errorf("dram: CL/RCD/RP must be at least 1 cycle, got %d/%d/%d", t.CL, t.RCD, t.RP)
+	case t.BurstCycles < 1:
+		return fmt.Errorf("dram: BurstCycles must be at least 1, got %d", t.BurstCycles)
+	case t.CPUCyclesPerDRAMCycle < 1:
+		return fmt.Errorf("dram: CPUCyclesPerDRAMCycle must be at least 1, got %d", t.CPUCyclesPerDRAMCycle)
+	case t.RAS < 0 || t.WR < 0 || t.RTP < 0 || t.RoundTripOverhead < 0 ||
+		t.RRD < 0 || t.FAW < 0 || t.WTR < 0 || t.RTW < 0:
+		return fmt.Errorf("dram: negative timing constraint in %+v", t)
+	case t.REFI < 0 || t.RFC < 0:
+		return fmt.Errorf("dram: negative refresh timing REFI=%d RFC=%d", t.REFI, t.RFC)
+	case (t.REFI > 0) != (t.RFC > 0):
+		return fmt.Errorf("dram: refresh needs both REFI and RFC set, got REFI=%d RFC=%d", t.REFI, t.RFC)
+	}
+	return nil
 }
 
 // WithRefresh returns a copy of the timing with DDR2-typical refresh

@@ -49,3 +49,45 @@ func TestRoundTripsMatchPaper(t *testing.T) {
 		}
 	}
 }
+
+func TestTimingValidate(t *testing.T) {
+	if err := DefaultTiming().Validate(); err != nil {
+		t.Fatalf("DefaultTiming().Validate() = %v, want nil", err)
+	}
+	if err := DefaultTiming().WithRefresh().Validate(); err != nil {
+		t.Fatalf("WithRefresh().Validate() = %v, want nil", err)
+	}
+	// Extreme-but-non-negative values are legal (the watchdog test
+	// relies on a livelock-inducing tRCD being accepted).
+	huge := DefaultTiming()
+	huge.RCD = 1 << 40
+	if err := huge.Validate(); err != nil {
+		t.Errorf("pathological RCD rejected: %v", err)
+	}
+
+	mut := func(f func(*Timing)) Timing {
+		tm := DefaultTiming()
+		f(&tm)
+		return tm
+	}
+	bad := []struct {
+		name string
+		tm   Timing
+	}{
+		{"zero CL", mut(func(tm *Timing) { tm.CL = 0 })},
+		{"zero RCD", mut(func(tm *Timing) { tm.RCD = 0 })},
+		{"zero RP", mut(func(tm *Timing) { tm.RP = 0 })},
+		{"zero burst", mut(func(tm *Timing) { tm.BurstCycles = 0 })},
+		{"zero clock ratio", mut(func(tm *Timing) { tm.CPUCyclesPerDRAMCycle = 0 })},
+		{"negative RAS", mut(func(tm *Timing) { tm.RAS = -1 })},
+		{"negative FAW", mut(func(tm *Timing) { tm.FAW = -1 })},
+		{"negative REFI", mut(func(tm *Timing) { tm.REFI = -1 })},
+		{"REFI without RFC", mut(func(tm *Timing) { tm.REFI = 31_200 })},
+		{"RFC without REFI", mut(func(tm *Timing) { tm.RFC = 510 })},
+	}
+	for _, tc := range bad {
+		if err := tc.tm.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"stfm/internal/sim"
+	"stfm/internal/workloads"
+)
+
+// MatrixSpec names one of the paper's (workload mix, policy) sweeps as
+// a submittable job kind: the stfm-server expands a matrix submission
+// into one job per cell, so a figure's whole grid rides the job queue
+// and every cell lands in (or is served from) the content-addressed
+// result cache. The specs mirror the figure experiments in figures.go
+// but expose only the raw cell structure — metric aggregation stays
+// with the Runner, which needs alone-run baselines the service computes
+// per cell on demand.
+type MatrixSpec struct {
+	// ID is the submittable name (the figure it reproduces).
+	ID string
+	// Title describes the sweep.
+	Title string
+	// Mixes are the workload mixes, one row of the matrix each.
+	Mixes []workloads.Mix
+	// Policies are the schedulers each mix runs under, one column each.
+	Policies []sim.PolicyKind
+}
+
+// Cells returns the number of (mix, policy) jobs the matrix expands to.
+func (m MatrixSpec) Cells() int { return len(m.Mixes) * len(m.Policies) }
+
+// Matrices lists the named experiment matrices in paper order. Sweeps
+// that would expand to hundreds of cells (fig9/fig11 full grids) are
+// represented by their sample-workload subsets — the full grids remain
+// available through cmd/stfm-experiments, where aggregation happens
+// in-process.
+func Matrices() []MatrixSpec {
+	return []MatrixSpec{
+		{
+			ID:       "fig5",
+			Title:    "2-core: mcf paired with every benchmark, FR-FCFS vs STFM",
+			Mixes:    workloads.TwoCorePairs(),
+			Policies: []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM},
+		},
+		{
+			ID:       "fig9",
+			Title:    "4-core sample workloads under the five evaluated schedulers",
+			Mixes:    workloads.SampleFourCore(),
+			Policies: sim.AllPolicies(),
+		},
+		{
+			ID:       "fig11",
+			Title:    "8-core sample workloads under the five evaluated schedulers",
+			Mixes:    workloads.SampleEightCore(),
+			Policies: sim.AllPolicies(),
+		},
+		{
+			ID:       "fig12",
+			Title:    "16-core workloads under the five evaluated schedulers",
+			Mixes:    workloads.SixteenCoreMixes(),
+			Policies: sim.AllPolicies(),
+		},
+		{
+			ID:       "desktop",
+			Title:    "Desktop application workload under the five evaluated schedulers",
+			Mixes:    []workloads.Mix{workloads.Desktop()},
+			Policies: sim.AllPolicies(),
+		},
+		{
+			ID:       "followups",
+			Title:    "4-core case studies under FR-FCFS, STFM, and the follow-up schedulers",
+			Mixes:    workloads.SampleFourCore(),
+			Policies: []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM, sim.PolicyPARBS, sim.PolicyTCM},
+		},
+	}
+}
+
+// MatrixByID resolves a named matrix, failing fast on unknown names
+// with the known set in the message (it becomes an HTTP 400 body).
+func MatrixByID(id string) (MatrixSpec, error) {
+	for _, m := range Matrices() {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return MatrixSpec{}, fmt.Errorf("experiments: unknown matrix %q (known: %v)", id, MatrixIDs())
+}
+
+// MatrixIDs lists the submittable matrix names alphabetically.
+func MatrixIDs() []string {
+	var ids []string
+	for _, m := range Matrices() {
+		ids = append(ids, m.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"stfm/internal/sim"
+)
+
+func TestMatricesWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, m := range Matrices() {
+		if m.ID == "" || m.Title == "" {
+			t.Errorf("matrix %+v missing ID or Title", m)
+		}
+		if seen[m.ID] {
+			t.Errorf("duplicate matrix ID %q", m.ID)
+		}
+		seen[m.ID] = true
+		if len(m.Mixes) == 0 || len(m.Policies) == 0 {
+			t.Errorf("matrix %s has no mixes or no policies", m.ID)
+		}
+		if m.Cells() != len(m.Mixes)*len(m.Policies) {
+			t.Errorf("matrix %s Cells() = %d, want %d", m.ID, m.Cells(), len(m.Mixes)*len(m.Policies))
+		}
+		for _, mix := range m.Mixes {
+			if len(mix.Profiles) == 0 {
+				t.Errorf("matrix %s mix %s has no profiles", m.ID, mix.Name)
+			}
+		}
+		// Every cell must form a valid submission: the base config
+		// with the cell's policy applied passes sim validation.
+		for _, pol := range m.Policies {
+			cfg := sim.DefaultConfig(pol, len(m.Mixes[0].Profiles))
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("matrix %s policy %s: %v", m.ID, pol, err)
+			}
+		}
+	}
+	// The paper's headline sweep must be present.
+	for _, want := range []string{"fig5", "fig9", "desktop"} {
+		if !seen[want] {
+			t.Errorf("expected matrix %q to exist", want)
+		}
+	}
+}
+
+func TestMatrixByID(t *testing.T) {
+	m, err := MatrixByID("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != "fig5" || len(m.Policies) != 2 {
+		t.Errorf("fig5 = %+v, want FR-FCFS vs STFM sweep", m)
+	}
+	if _, err := MatrixByID("nope"); err == nil {
+		t.Fatal("unknown matrix accepted")
+	} else if !strings.Contains(err.Error(), "fig5") {
+		t.Errorf("unknown-matrix error %q should list the known IDs", err)
+	}
+}
+
+func TestMatrixIDsSorted(t *testing.T) {
+	ids := MatrixIDs()
+	if len(ids) != len(Matrices()) {
+		t.Fatalf("MatrixIDs() has %d entries, want %d", len(ids), len(Matrices()))
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("MatrixIDs() = %v, want sorted", ids)
+	}
+}

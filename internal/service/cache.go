@@ -1,0 +1,143 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"stfm/internal/sim"
+)
+
+// Key derives the content address of one (Config, workload) job: the
+// configuration's canonical fingerprint (sim.Config.Fingerprint, which
+// covers every result-determining field including the trace Seed)
+// combined with the ordered benchmark names. Trace generation is
+// deterministic given (profile, geometry, core index, seed), so equal
+// keys imply bit-identical runs — which is what makes serving a cached
+// Result indistinguishable from re-running.
+func Key(cfg sim.Config, workload []string) string {
+	h := sha256.New()
+	io.WriteString(h, cfg.Fingerprint())
+	for _, name := range workload {
+		fmt.Fprintf(h, "/%q", name)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache maps content-address keys to completed Results. All entries
+// live in memory; with a spill directory configured, every Put also
+// writes <dir>/<key>.json and a Get that misses memory falls back to
+// disk, so a restarted server keeps serving previously computed
+// configurations. Disk I/O failures degrade to cache misses — the
+// cache is an accelerator, never a correctness dependency.
+type Cache struct {
+	mu     sync.Mutex
+	dir    string
+	mem    map[string]*sim.Result
+	hits   int64
+	misses int64
+}
+
+// NewCache builds a cache; dir == "" disables the disk spill.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string]*sim.Result)}, nil
+}
+
+// Get returns the cached Result for key, consulting the disk spill on a
+// memory miss. Callers must not mutate the returned Result.
+func (c *Cache) Get(key string) (*sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res, ok := c.mem[key]; ok {
+		c.hits++
+		return res, true
+	}
+	if c.dir != "" {
+		if res, err := c.load(key); err == nil {
+			c.mem[key] = res
+			c.hits++
+			return res, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a completed Result under key and spills it to disk when a
+// directory is configured. The disk write is atomic (temp file +
+// rename) so a crash mid-write can never leave a truncated entry; its
+// error is returned for logging but the in-memory store always wins.
+func (c *Cache) Put(key string, res *sim.Result) error {
+	c.mu.Lock()
+	c.mem[key] = res
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("service: cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("service: cache spill: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache spill: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache spill: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache spill: %w", err)
+	}
+	return nil
+}
+
+// load reads one spilled entry; callers hold c.mu.
+func (c *Cache) load(key string) (*sim.Result, error) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, err
+	}
+	var res sim.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("service: corrupt cache entry %s: %w", key, err)
+	}
+	return &res, nil
+}
+
+// path maps a key to its spill file. Keys are hex digests (checked by
+// Get/Put callers constructing them via Key), so the join is safe.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

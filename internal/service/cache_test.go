@@ -1,0 +1,108 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"stfm/internal/sim"
+)
+
+func sampleResult() *sim.Result {
+	return &sim.Result{
+		Policy: sim.PolicySTFM,
+		Threads: []sim.ThreadResult{
+			{Benchmark: "mcf", Instructions: 300_000, Cycles: 1_000_000, IPC: 0.3, AvgReadLatency: 512.25},
+		},
+		TotalCycles:    1_000_000,
+		BusUtilization: 0.5,
+	}
+}
+
+func TestCacheMemory(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(sim.DefaultConfig(sim.PolicySTFM, 2), []string{"mcf", "libquantum"})
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	res := sampleResult()
+	if err := c.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || !reflect.DeepEqual(got, res) {
+		t.Fatalf("Get after Put: ok=%v got=%+v", ok, got)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 || c.Len() != 1 {
+		t.Errorf("stats = %d hits %d misses %d entries, want 1/1/1", hits, misses, c.Len())
+	}
+}
+
+// TestCacheDiskSpillSurvivesRestart: a fresh Cache over the same
+// directory — a restarted server — serves entries the previous
+// instance computed, exactly.
+func TestCacheDiskSpillSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	key := Key(sim.DefaultConfig(sim.PolicyFRFCFS, 2), []string{"mcf", "libquantum"})
+	res := sampleResult()
+
+	first, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := second.Get(key)
+	if !ok {
+		t.Fatal("restarted cache missed a spilled entry")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Errorf("spilled result drifted:\ngot  %+v\nwant %+v", got, res)
+	}
+}
+
+// TestCacheCorruptSpillDegradesToMiss: a truncated spill file must
+// read as a miss, never an error or a bad result.
+func TestCacheCorruptSpillDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := Key(sim.DefaultConfig(sim.PolicyNFQ, 2), []string{"mcf"})
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte(`{"policy": tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt spill entry served as a hit")
+	}
+}
+
+// TestKeyDistinguishesWorkloads: the content address covers both the
+// config and the ordered benchmark list.
+func TestKeyDistinguishesWorkloads(t *testing.T) {
+	cfg := sim.DefaultConfig(sim.PolicySTFM, 2)
+	base := Key(cfg, []string{"mcf", "libquantum"})
+	if Key(cfg, []string{"libquantum", "mcf"}) == base {
+		t.Error("workload order does not change the key (it assigns cores)")
+	}
+	if Key(cfg, []string{"mcf"}) == base {
+		t.Error("workload size does not change the key")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	if Key(cfg2, []string{"mcf", "libquantum"}) == base {
+		t.Error("config changes do not change the key")
+	}
+}

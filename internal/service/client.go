@@ -1,0 +1,149 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a thin consumer of the stfm-server HTTP API. The zero
+// Client is not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a server base URL such as "http://127.0.0.1:8080".
+// httpClient nil selects http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// APIError is a non-2xx server reply.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: server returned %d: %s", e.Status, e.Message)
+}
+
+// do issues one request and decodes the JSON reply into out (when
+// non-nil). Non-2xx replies become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var eb errorBody
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit posts a job request and returns the created jobs.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*SubmitResponse, error) {
+	var resp SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job fetches a job's status and progress.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Jobs lists every job on the server.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	var out []JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Result fetches a terminal job's result. While the job is still
+// queued or running the server answers 409, surfaced as *APIError.
+func (c *Client) Result(ctx context.Context, id string) (ResultResponse, error) {
+	var rr ResultResponse
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &rr)
+	return rr, err
+}
+
+// Cancel requests cancellation and returns the job's state after it.
+func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Stats fetches the server's operational counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal status (returning its
+// final info) or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if info.Status.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxBodyBytes bounds submission bodies; a Config plus workload names
+// is a few KB, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs            submit a job or matrix
+//	GET    /v1/jobs            list all jobs
+//	GET    /v1/jobs/{id}        job status and progress
+//	GET    /v1/jobs/{id}/result completed result (409 until terminal)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/healthz          liveness
+//	GET    /v1/stats            operational counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, resp)
+	case errors.Is(err, ErrQueueFull):
+		// Explicit backpressure: the client should retry, not the
+		// server buffer without bound.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		var re *RequestError
+		if errors.As(err, &re) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	rr, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	switch rr.Status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, rr)
+	case StatusCanceled:
+		writeJSON(w, http.StatusGone, rr)
+	case StatusFailed:
+		writeJSON(w, http.StatusInternalServerError, rr)
+	default:
+		// Still queued or running: the result does not exist yet.
+		writeJSON(w, http.StatusConflict, rr)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

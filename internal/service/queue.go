@@ -1,0 +1,67 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by TryEnqueue when accepting the submission
+// would exceed the queue's capacity. The HTTP layer maps it to
+// 429 Too Many Requests with a Retry-After header — backpressure is
+// explicit, never an unbounded in-memory backlog.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrDraining is returned by TryEnqueue once the queue is closed for
+// shutdown. The HTTP layer maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("service: server is draining")
+
+// queue is a bounded FIFO of jobs. Enqueues are all-or-nothing across a
+// batch (a matrix submission either fully fits or is rejected whole)
+// and mutex-serialized, so the capacity check and the channel sends are
+// atomic; workers consume from Chan.
+type queue struct {
+	mu     sync.Mutex
+	ch     chan *job
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{ch: make(chan *job, capacity)}
+}
+
+// TryEnqueue appends the jobs or returns ErrQueueFull / ErrDraining
+// without enqueueing any of them.
+func (q *queue) TryEnqueue(jobs ...*job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if cap(q.ch)-len(q.ch) < len(jobs) {
+		return ErrQueueFull
+	}
+	for _, j := range jobs {
+		q.ch <- j
+	}
+	return nil
+}
+
+// Close stops intake; workers drain what is already queued and then
+// exit. Idempotent.
+func (q *queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// Chan is the worker-side end of the queue.
+func (q *queue) Chan() <-chan *job { return q.ch }
+
+// Depth returns the number of queued jobs.
+func (q *queue) Depth() int { return len(q.ch) }
+
+// Cap returns the queue capacity.
+func (q *queue) Cap() int { return cap(q.ch) }

@@ -1,0 +1,484 @@
+// Package service turns the simulator into a long-running
+// simulation-as-a-service server: an HTTP JSON API over a bounded job
+// queue with explicit backpressure, a worker pool executing jobs
+// through sim.RunContext (so per-job cancellation, deadlines, and the
+// forward-progress watchdog all compose), and a deterministic
+// content-addressed result cache — resubmitting an already-run
+// configuration is a cache hit served without constructing a new
+// sim.System, optionally surviving restarts via an on-disk spill.
+//
+// The paper's evaluation sweeps hundreds of (workload mix, policy,
+// core-count) configurations; this is exactly the fan-out a job service
+// with result caching amortizes. DESIGN.md Section 13 documents the
+// architecture; cmd/stfm-server is the executable front end and Client
+// the in-process consumer.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"stfm/internal/experiments"
+	"stfm/internal/memctrl"
+	"stfm/internal/sim"
+	"stfm/internal/telemetry"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the worker-pool size (simultaneously executing
+	// jobs); 0 selects GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the number of jobs waiting for a worker; 0
+	// selects 64. A submission that would exceed it is rejected with
+	// ErrQueueFull (HTTP 429).
+	QueueSize int
+	// CacheDir enables the result cache's on-disk spill; "" keeps the
+	// cache memory-only.
+	CacheDir string
+	// SampleEvery is the progress-sampling interval attached to every
+	// executed job, in DRAM cycles; 0 selects 5000, negative disables
+	// progress reporting.
+	SampleEvery int64
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the queue, worker pool, job table, and result cache. It
+// serves HTTP through Handler and shuts down through Drain.
+type Server struct {
+	opts  Options
+	queue *queue
+	cache *Cache
+	start time.Time
+
+	// baseCtx parents every job context; abort cancels it when a
+	// drain deadline forces running jobs to stop.
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	wg sync.WaitGroup // worker goroutines
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // submission order, for listing
+	seq       int64
+	running   int
+	completed int64
+	failed    int64
+	canceled  int64
+	durations memctrl.LatencyHistogram // job wall times, milliseconds
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueSize == 0 {
+		opts.QueueSize = 64
+	}
+	if opts.QueueSize < 0 {
+		return nil, fmt.Errorf("service: negative queue size %d", opts.QueueSize)
+	}
+	if opts.SampleEvery == 0 {
+		opts.SampleEvery = 5000
+	}
+	cache, err := NewCache(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:  opts,
+		queue: newQueue(opts.QueueSize),
+		cache: cache,
+		start: time.Now(),
+		jobs:  make(map[string]*job),
+	}
+	s.baseCtx, s.abort = context.WithCancel(context.Background())
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Submit validates and enqueues a job request, expanding matrix
+// submissions into one job per (mix, policy) cell. Cache hits complete
+// immediately without queueing; for the rest, enqueueing is
+// all-or-nothing — ErrQueueFull (nothing accepted) when the batch does
+// not fit, ErrDraining after shutdown began. Validation failures
+// return a *RequestError.
+func (s *Server) Submit(req JobRequest) (*SubmitResponse, error) {
+	cells, err := s.expand(req)
+	if err != nil {
+		return nil, err
+	}
+	var fresh []*job
+	for _, j := range cells {
+		if res, ok := s.cache.Get(j.fp); ok {
+			j.status = StatusDone
+			j.cached = true
+			j.result = res
+			j.finishedAt = time.Now()
+		} else {
+			fresh = append(fresh, j)
+		}
+	}
+	if len(fresh) > 0 {
+		if err := s.queue.TryEnqueue(fresh...); err != nil {
+			return nil, err
+		}
+	}
+	resp := &SubmitResponse{Matrix: req.Matrix}
+	s.mu.Lock()
+	for _, j := range cells {
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	s.mu.Unlock()
+	for _, j := range cells {
+		resp.Jobs = append(resp.Jobs, j.info())
+	}
+	return resp, nil
+}
+
+// RequestError reports an invalid submission (HTTP 400).
+type RequestError struct{ Err error }
+
+// Error implements error.
+func (e *RequestError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause.
+func (e *RequestError) Unwrap() error { return e.Err }
+
+func badRequest(format string, args ...any) *RequestError {
+	return &RequestError{Err: fmt.Errorf(format, args...)}
+}
+
+// expand turns a request into its job cells: one for a workload
+// submission, mixes x policies for a matrix submission. Every cell is
+// fully validated and fingerprinted.
+func (s *Server) expand(req JobRequest) ([]*job, error) {
+	if req.Config.Streams != nil || req.Config.Telemetry != nil {
+		return nil, badRequest("config must not carry Streams or Telemetry attachments")
+	}
+	switch {
+	case req.Matrix == "" && len(req.Workload) == 0:
+		return nil, badRequest("submission needs a workload (benchmark names) or a matrix name")
+	case req.Matrix != "" && len(req.Workload) > 0:
+		return nil, badRequest("workload and matrix are mutually exclusive")
+	case req.TimeoutMS < 0:
+		return nil, badRequest("timeoutMs must be non-negative, got %d", req.TimeoutMS)
+	}
+	if err := req.Config.Validate(); err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	if req.Matrix == "" {
+		j, err := s.newJob(req.Config, req.Workload, req.TimeoutMS)
+		if err != nil {
+			return nil, err
+		}
+		return []*job{j}, nil
+	}
+	spec, err := experiments.MatrixByID(req.Matrix)
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	var cells []*job
+	for _, mix := range spec.Mixes {
+		names := make([]string, len(mix.Profiles))
+		for i, p := range mix.Profiles {
+			names[i] = p.Name
+		}
+		for _, pol := range spec.Policies {
+			cfg := req.Config
+			cfg.Policy = pol
+			j, err := s.newJob(cfg, names, req.TimeoutMS)
+			if err != nil {
+				return nil, fmt.Errorf("matrix %s cell %s/%s: %w", spec.ID, mix.Name, pol, err)
+			}
+			cells = append(cells, j)
+		}
+	}
+	return cells, nil
+}
+
+// newJob resolves the workload and builds one queued job.
+func (s *Server) newJob(cfg sim.Config, workload []string, timeoutMS int64) (*job, error) {
+	profs, err := experiments.Profiles(workload...)
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	fp := Key(cfg, workload)
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j%d-%s", s.seq, fp[:8])
+	s.mu.Unlock()
+	j := &job{
+		id:          id,
+		cfg:         cfg,
+		workload:    append([]string(nil), workload...),
+		profiles:    profs,
+		fp:          fp,
+		maxCycles:   cfg.CycleBudget(profs),
+		timeout:     time.Duration(timeoutMS) * time.Millisecond,
+		submittedAt: time.Now(),
+		status:      StatusQueued,
+	}
+	for _, t := range cfg.InstrTargets(profs) {
+		j.targetInstr += t
+	}
+	return j, nil
+}
+
+// Job returns a job's current state.
+func (s *Server) Job(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.info(), true
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	table := s.jobs
+	s.mu.Unlock()
+	out := make([]JobInfo, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		j := table[id]
+		s.mu.Unlock()
+		out = append(out, j.info())
+	}
+	return out
+}
+
+// Result returns a job's result view.
+func (s *Server) Result(id string) (ResultResponse, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return ResultResponse{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rr := ResultResponse{ID: j.id, Status: j.status, Cached: j.cached}
+	if j.err != nil {
+		rr.Error = j.err.Error()
+	}
+	if j.status == StatusDone {
+		rr.Result = j.result
+	}
+	return rr, true
+}
+
+// Cancel cancels a job: queued jobs terminate immediately (the worker
+// skips them on dequeue), running jobs have their context canceled and
+// finish as canceled with a partial result. Terminal jobs are left
+// untouched. The second return reports whether the job exists.
+func (s *Server) Cancel(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobInfo{}, false
+	}
+	j.mu.Lock()
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCanceled
+		j.err = sim.ErrCanceled
+		j.finishedAt = time.Now()
+		s.mu.Lock()
+		s.canceled++
+		s.mu.Unlock()
+	case StatusRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	return j.info(), true
+}
+
+// worker consumes jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue.Chan() {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job through sim.RunContext.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		// Canceled while waiting in the queue.
+		j.mu.Unlock()
+		return
+	}
+	if s.baseCtx.Err() != nil {
+		// Drain deadline already forced an abort: fail fast instead
+		// of spinning up a run that would immediately cancel.
+		j.status = StatusCanceled
+		j.err = sim.ErrCanceled
+		j.finishedAt = time.Now()
+		j.mu.Unlock()
+		s.mu.Lock()
+		s.canceled++
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, j.timeout)
+	}
+	cfg := j.cfg
+	if s.opts.SampleEvery > 0 {
+		j.col = telemetry.New(telemetry.Options{SampleEvery: s.opts.SampleEvery})
+		cfg.Telemetry = j.col
+	}
+	j.status = StatusRunning
+	j.cancel = cancel
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+
+	res, err := sim.RunContext(ctx, cfg, j.profiles)
+	cancel()
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.finishedAt = time.Now()
+	j.result = res
+	j.err = err
+	switch {
+	case err == nil:
+		j.status = StatusDone
+	case errors.Is(err, sim.ErrCanceled):
+		j.status = StatusCanceled
+	default:
+		// Deadline expiry, watchdog stalls, invariant violations,
+		// recovered panics, bad configs that slipped past Validate —
+		// all structured sim errors, all terminal failures.
+		j.status = StatusFailed
+	}
+	status := j.status
+	wall := j.finishedAt.Sub(j.startedAt)
+	j.mu.Unlock()
+
+	if status == StatusDone {
+		if cerr := s.cache.Put(j.fp, res); cerr != nil {
+			s.logf("job %s: %v", j.id, cerr)
+		}
+	}
+
+	s.mu.Lock()
+	s.running--
+	switch status {
+	case StatusDone:
+		s.completed++
+	case StatusCanceled:
+		s.canceled++
+	default:
+		s.failed++
+	}
+	s.durations.Record(wall.Milliseconds())
+	s.mu.Unlock()
+	if err != nil {
+		s.logf("job %s: %s: %v", j.id, status, err)
+	} else {
+		s.logf("job %s: done in %s", j.id, wall.Round(time.Millisecond))
+	}
+}
+
+// Stats is the GET /v1/stats body.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Workers       int     `json:"workers"`
+	Running       int     `json:"running"`
+	QueueDepth    int     `json:"queueDepth"`
+	QueueCapacity int     `json:"queueCapacity"`
+	Submitted     int64   `json:"submitted"`
+	Completed     int64   `json:"completed"`
+	Failed        int64   `json:"failed"`
+	Canceled      int64   `json:"canceled"`
+	CacheEntries  int     `json:"cacheEntries"`
+	CacheHits     int64   `json:"cacheHits"`
+	CacheMisses   int64   `json:"cacheMisses"`
+	// Job wall-time distribution in milliseconds (power-of-two bucket
+	// resolution, reusing the memctrl latency histogram).
+	JobP50Ms int64 `json:"jobP50Ms"`
+	JobP95Ms int64 `json:"jobP95Ms"`
+	JobMaxMs int64 `json:"jobMaxMs"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	hits, misses := s.cache.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.opts.Workers,
+		Running:       s.running,
+		QueueDepth:    s.queue.Depth(),
+		QueueCapacity: s.queue.Cap(),
+		Submitted:     s.seq,
+		Completed:     s.completed,
+		Failed:        s.failed,
+		Canceled:      s.canceled,
+		CacheEntries:  s.cache.Len(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		JobP50Ms:      s.durations.Percentile(0.50),
+		JobP95Ms:      s.durations.Percentile(0.95),
+		JobMaxMs:      s.durations.Max(),
+	}
+}
+
+// Drain shuts the server down gracefully: intake stops (submissions
+// get ErrDraining), queued jobs keep executing, and Drain blocks until
+// the pool is idle. If ctx expires first, running and still-queued jobs
+// are aborted through their contexts (finishing as canceled with
+// partial results) and Drain waits for the pool to wind down before
+// returning ctx's error. Always returns with every worker goroutine
+// exited.
+func (s *Server) Drain(ctx context.Context) error {
+	s.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.abort()
+		<-done
+	}
+	s.abort() // release the base context either way
+	return err
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"stfm/internal/dram"
+	"stfm/internal/telemetry"
+	"stfm/internal/trace"
+)
+
+func hasConfigField(name string) bool {
+	_, ok := reflect.TypeOf(Config{}).FieldByName(name)
+	return ok
+}
+
+// defaultConfigDigest pins the canonical fingerprint of
+// DefaultConfig(STFM, 4). The stfm-server result cache keys on this
+// digest — on-disk cache entries from older builds are addressed by it
+// — so it must only change when a result-determining Config field is
+// added, removed, or renamed. If this test fails, decide whether the
+// change really alters simulation results; if it does, update the
+// constant (old cache entries are then correctly orphaned), and if it
+// does not, add the field to fingerprintSkip instead.
+const defaultConfigDigest = "2685c00efc581c06f3f02d51909290a134b13fdedad004f715819ca57573186c"
+
+func TestFingerprintStability(t *testing.T) {
+	if got := DefaultConfig(PolicySTFM, 4).Fingerprint(); got != defaultConfigDigest {
+		t.Errorf("DefaultConfig(STFM, 4).Fingerprint() = %s, want %s\n"+
+			"(see the comment on defaultConfigDigest before updating)", got, defaultConfigDigest)
+	}
+}
+
+// TestFingerprintSensitivity: changing any result-determining field
+// must change the digest.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := DefaultConfig(PolicySTFM, 4)
+	mutations := map[string]func(*Config){
+		"Policy":       func(c *Config) { c.Policy = PolicyFRFCFS },
+		"Channels":     func(c *Config) { c.Channels = 2 },
+		"InstrTarget":  func(c *Config) { c.InstrTarget = 1 },
+		"Seed":         func(c *Config) { c.Seed = 99 },
+		"MSHRs":        func(c *Config) { c.MSHRs = 8 },
+		"STFM.Alpha":   func(c *Config) { c.STFM.Alpha = 2 },
+		"STFM.Weights": func(c *Config) { c.STFM.Weights = []float64{1, 8} },
+		"NFQWeights":   func(c *Config) { c.NFQWeights = []float64{1, 2} },
+		"UseCaches":    func(c *Config) { c.UseCaches = true },
+		"Geometry":     func(c *Config) { g := dram.DefaultGeometry(1); c.Geometry = &g },
+		"Timing":       func(c *Config) { tm := dram.DefaultTiming(); tm.CL = 7; c.Timing = &tm },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if cfg.Fingerprint() == defaultConfigDigest {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintIgnoresNonDeterminants: the excluded fields (runtime
+// attachments and flags proven schedule-neutral by the equivalence
+// tests) must not move the digest — that is what makes a telemetry-on
+// resubmission a cache hit.
+func TestFingerprintIgnoresNonDeterminants(t *testing.T) {
+	cfg := DefaultConfig(PolicySTFM, 4)
+	cfg.Streams = []trace.Stream{nil, nil}
+	cfg.Telemetry = telemetry.New(telemetry.Options{SampleEvery: 100})
+	cfg.DenseTick = true
+	cfg.WatchdogCycles = 12345
+	cfg.CheckInvariants = true
+	if got := cfg.Fingerprint(); got != defaultConfigDigest {
+		t.Errorf("non-determinant fields moved the fingerprint: %s != %s", got, defaultConfigDigest)
+	}
+}
+
+// TestFingerprintCoversAllFields: every Config field is either encoded
+// or deliberately listed in fingerprintSkip. A new field added without
+// classification fails here (and writeCanonical panics on kinds it
+// does not know how to encode), so fingerprints can never silently
+// ignore — or destabilize on — new configuration surface.
+func TestFingerprintCoversAllFields(t *testing.T) {
+	for skipped := range fingerprintSkip {
+		if !hasConfigField(skipped) {
+			t.Errorf("fingerprintSkip lists %q, which is not a Config field", skipped)
+		}
+	}
+	// A pointer-field round trip: nil vs zero-value pointer must
+	// differ (nil means "use defaults", which NewSystem may evolve).
+	withGeom := DefaultConfig(PolicySTFM, 4)
+	g := dram.Geometry{}
+	withGeom.Geometry = &g
+	if withGeom.Fingerprint() == defaultConfigDigest {
+		t.Error("explicit zero Geometry fingerprints identically to nil Geometry")
+	}
+}
+
+// TestFingerprintCanonicalEncoding: the digest input enumerates fields
+// by sorted name, so it is independent of struct declaration order by
+// construction; spot-check the encoding is hex SHA-256 shaped and
+// deterministic across calls.
+func TestFingerprintCanonicalEncoding(t *testing.T) {
+	cfg := DefaultConfig(PolicyNFQ, 8)
+	a, b := cfg.Fingerprint(), cfg.Fingerprint()
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.Trim(a, "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint %q is not lowercase hex SHA-256", a)
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden files")
+
+// goldenResult exercises every Result and ThreadResult field with
+// distinct non-zero values so the golden file pins the whole wire
+// format, including float rendering.
+func goldenResult() Result {
+	return Result{
+		Policy: PolicySTFM,
+		Threads: []ThreadResult{
+			{
+				Benchmark:      "mcf",
+				Instructions:   300_000,
+				Cycles:         1_234_567,
+				MemStallCycles: 456_789,
+				IPC:            0.2430123,
+				MCPI:           1.5226,
+				DRAMReads:      11_813,
+				DRAMWrites:     3_947,
+				RowHitRate:     0.091,
+				AvgReadLatency: 612.25,
+				P95ReadLatency: 2048,
+				P99ReadLatency: 8192,
+				Truncated:      false,
+			},
+			{
+				Benchmark:      "libquantum",
+				Instructions:   299_999,
+				Cycles:         987_654,
+				MemStallCycles: 123_456,
+				IPC:            0.30375,
+				MCPI:           0.4115,
+				DRAMReads:      9_021,
+				DRAMWrites:     1_500,
+				RowHitRate:     0.987,
+				AvgReadLatency: 301.5,
+				P95ReadLatency: 512,
+				P99ReadLatency: 1024,
+				Truncated:      true,
+			},
+		},
+		TotalCycles:          1_234_567,
+		BusUtilization:       0.4375,
+		STFMUnfairness:       1.2345678901234567,
+		STFMFairnessFraction: 0.0625,
+	}
+}
+
+// TestResultJSONRoundTrip pins the Result wire format: the encoding
+// must match the checked-in golden byte-for-byte (it is the
+// stfm-server API contract and the disk-cache format), and decoding
+// the golden must reproduce the original value exactly —
+// reflect.DeepEqual, no float drift — which is what lets the service
+// E2E test require a cached Result be indistinguishable from a fresh
+// run. Regenerate with: go test ./internal/sim -run ResultJSON -update
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := goldenResult()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	golden := filepath.Join("testdata", "result_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(data) != string(want) {
+		t.Errorf("Result encoding drifted from %s:\ngot:\n%s\nwant:\n%s\n"+
+			"(run with -update after verifying the change is intentional)", golden, data, want)
+	}
+
+	var back Result
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, res) {
+		t.Errorf("decode(encode(Result)) != Result:\ngot  %+v\nwant %+v", back, res)
+	}
+}
+
+// TestResultSchemaGuard fails when a field is added to Result or
+// ThreadResult without regenerating the golden: every exported field
+// must have an explicit json tag, and the set of tags must equal the
+// keys present in the golden file. A new field therefore breaks the
+// build of this test until the golden — and with it the documented wire
+// format — is consciously regenerated.
+func TestResultSchemaGuard(t *testing.T) {
+	goldenKeys := func(m map[string]json.RawMessage) map[string]bool {
+		out := make(map[string]bool, len(m))
+		for k := range m {
+			out[k] = true
+		}
+		return out
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "result_golden.json"))
+	if err != nil {
+		t.Fatalf("%v (run TestResultJSONRoundTrip with -update first)", err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+	checkStruct(t, reflect.TypeOf(Result{}), goldenKeys(top))
+
+	var threads []map[string]json.RawMessage
+	if err := json.Unmarshal(top["threads"], &threads); err != nil {
+		t.Fatal(err)
+	}
+	if len(threads) == 0 {
+		t.Fatal("golden has no thread entries")
+	}
+	checkStruct(t, reflect.TypeOf(ThreadResult{}), goldenKeys(threads[0]))
+}
+
+func checkStruct(t *testing.T, typ reflect.Type, golden map[string]bool) {
+	t.Helper()
+	tags := make(map[string]bool)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		tag, ok := f.Tag.Lookup("json")
+		if !ok || tag == "" {
+			t.Errorf("%s.%s has no explicit json tag", typ.Name(), f.Name)
+			continue
+		}
+		name := tag
+		if c := len(name); c > 0 {
+			for j := 0; j < c; j++ {
+				if name[j] == ',' {
+					name = name[:j]
+					break
+				}
+			}
+		}
+		tags[name] = true
+	}
+	for tag := range tags {
+		if !golden[tag] {
+			t.Errorf("%s field %q is not in the golden file — new wire field? "+
+				"Regenerate the golden (-update) to acknowledge the format change", typ.Name(), tag)
+		}
+	}
+	for key := range golden {
+		if !tags[key] {
+			t.Errorf("golden key %q has no %s field — removed wire field? "+
+				"Regenerate the golden (-update) to acknowledge the format change", key, typ.Name())
+		}
+	}
+}

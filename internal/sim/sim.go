@@ -53,24 +53,28 @@ func ExtendedPolicies() []PolicyKind {
 }
 
 // Config parameterizes one simulation run.
+//
+// The json tags make Config submittable over the stfm-server API;
+// Streams and Telemetry are process-local attachments and excluded from
+// the encoding (and from Fingerprint).
 type Config struct {
 	// Policy selects the DRAM scheduler.
-	Policy PolicyKind
+	Policy PolicyKind `json:"policy"`
 	// Channels is the number of DRAM channels; 0 auto-scales with the
 	// core count as in the paper's Table 2 (1, 1, 2, 4 channels for
 	// up to 2, 4, 8, 16 cores).
-	Channels int
+	Channels int `json:"channels"`
 	// Geometry, if non-nil, overrides the default DRAM organization
 	// (Table 5 sensitivity studies change banks and row-buffer size).
-	Geometry *dram.Geometry
+	Geometry *dram.Geometry `json:"geometry,omitempty"`
 	// Timing, if non-nil, overrides the default DDR2-800 timing.
-	Timing *dram.Timing
+	Timing *dram.Timing `json:"timing,omitempty"`
 	// InstrTarget is the per-thread instruction budget over which
 	// statistics are collected. Threads that finish early keep
 	// running (regenerating their access pattern) so the memory
 	// system stays loaded until the slowest thread finishes, the
 	// standard multiprogrammed methodology.
-	InstrTarget int64
+	InstrTarget int64 `json:"instrTarget"`
 	// MinMisses extends sparse threads' measurement windows so each
 	// observes at least roughly this many DRAM accesses: a thread's
 	// instruction target becomes max(InstrTarget, MinMisses/MPKI*1000).
@@ -78,40 +82,40 @@ type Config struct {
 	// of misses even for povray; without this floor, short runs give
 	// sparse benchmarks near-zero alone stall time and meaningless
 	// slowdown ratios. 0 disables the floor.
-	MinMisses int64
+	MinMisses int64 `json:"minMisses"`
 	// MaxCycles caps the run; 0 derives a generous default. Threads
 	// still short of InstrTarget at the cap are reported truncated.
-	MaxCycles int64
+	MaxCycles int64 `json:"maxCycles"`
 	// Seed drives all trace generators.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// CoreCfg sizes the cores; zero value selects the paper's 3-wide,
 	// 128-entry-window configuration.
-	CoreCfg cpu.Config
+	CoreCfg cpu.Config `json:"coreCfg"`
 	// MSHRs bounds each core's outstanding L2 misses (64).
-	MSHRs int
+	MSHRs int `json:"mshrs"`
 	// STFM configures the STFM policy (zero value = paper defaults).
-	STFM core.Config
+	STFM core.Config `json:"stfm"`
 	// CapValue sets FR-FCFS+Cap's cap (0 = the paper's 4).
-	CapValue int
+	CapValue int `json:"capValue"`
 	// NFQWeights, if non-nil, gives NFQ per-thread bandwidth shares
 	// proportional to these weights (Section 7.5).
-	NFQWeights []float64
+	NFQWeights []float64 `json:"nfqWeights,omitempty"`
 	// UseCaches runs the full L1/L2 hierarchy; traces are then
 	// interpreted as load/store addresses rather than miss streams.
-	UseCaches bool
+	UseCaches bool `json:"useCaches"`
 	// Streams, if non-nil, supplies each core's access stream directly
 	// (e.g. a trace.FileStream for externally captured traces),
 	// bypassing the synthetic generators. len(Streams) must equal the
 	// workload size; profiles are then used only for labeling and the
 	// MinMisses window scaling.
-	Streams []trace.Stream
+	Streams []trace.Stream `json:"-"`
 	// DenseTick disables event-driven time advancement: Run ticks every
 	// component on every CPU cycle instead of jumping over cycles in
 	// which no component can act. The schedules are bit-identical (the
 	// equivalence tests in internal/experiments assert it); the flag
 	// exists as the differential-testing escape hatch and for debugging
 	// with per-cycle traces.
-	DenseTick bool
+	DenseTick bool `json:"denseTick"`
 	// WatchdogCycles sets the forward-progress watchdog window in CPU
 	// cycles: if no core commits an instruction and no DRAM command
 	// issues for a full window, the run aborts with a *StallError
@@ -120,7 +124,7 @@ type Config struct {
 	// disables the watchdog. The watchdog observes at fixed cycle
 	// boundaries under both dense and event-driven stepping, so
 	// schedules stay bit-identical with it on or off.
-	WatchdogCycles int64
+	WatchdogCycles int64 `json:"watchdogCycles"`
 	// CheckInvariants enables opt-in self-checks at every watchdog
 	// boundary and at the end of the run: controller request
 	// conservation and queue accounting, MSHR occupancy bounds, and
@@ -129,7 +133,7 @@ type Config struct {
 	// illegal command — surface as a structured *SimError. The checks
 	// are read-only, so checked runs stay bit-identical to unchecked
 	// ones (the equivalence tests assert it).
-	CheckInvariants bool
+	CheckInvariants bool `json:"checkInvariants"`
 	// Telemetry, if non-nil, attaches the observability layer: the
 	// collector's Tracer receives DRAM command and request lifecycle
 	// events from the controller, and its Series receives interval
@@ -138,7 +142,7 @@ type Config struct {
 	// schedules stay bit-identical with telemetry on or off (asserted
 	// by TestTelemetryEquivalence). Nil costs a single pointer check
 	// per instrumentation point.
-	Telemetry *telemetry.Collector
+	Telemetry *telemetry.Collector `json:"-"`
 }
 
 // DefaultConfig returns a baseline configuration for the given policy
@@ -176,41 +180,51 @@ func ChannelsFor(cores int) int {
 
 // ThreadResult holds one thread's measured performance, frozen when it
 // reached the instruction target.
+//
+// The json tags define the stable wire format the stfm-server API and
+// its on-disk result cache both depend on; TestResultJSONRoundTrip pins
+// it with a golden file. Fields deliberately never use omitempty so a
+// new field is visible in the encoding and fails the golden until it is
+// regenerated.
 type ThreadResult struct {
-	Benchmark      string
-	Instructions   int64
-	Cycles         int64
-	MemStallCycles int64
+	Benchmark      string `json:"benchmark"`
+	Instructions   int64  `json:"instructions"`
+	Cycles         int64  `json:"cycles"`
+	MemStallCycles int64  `json:"memStallCycles"`
 	// IPC is instructions per cycle over the measured window.
-	IPC float64
+	IPC float64 `json:"ipc"`
 	// MCPI is memory stall cycles per instruction — the numerator and
 	// denominator of the paper's slowdown metric come from shared and
 	// alone MCPI values.
-	MCPI           float64
-	DRAMReads      int64
-	DRAMWrites     int64
-	RowHitRate     float64
-	AvgReadLatency float64
+	MCPI           float64 `json:"mcpi"`
+	DRAMReads      int64   `json:"dramReads"`
+	DRAMWrites     int64   `json:"dramWrites"`
+	RowHitRate     float64 `json:"rowHitRate"`
+	AvgReadLatency float64 `json:"avgReadLatency"`
 	// P95ReadLatency / P99ReadLatency bound the tail of the thread's
 	// read round trips (power-of-two bucket resolution); scheduling
 	// starvation appears here long before it moves the average.
-	P95ReadLatency int64
-	P99ReadLatency int64
+	P95ReadLatency int64 `json:"p95ReadLatency"`
+	P99ReadLatency int64 `json:"p99ReadLatency"`
 	// Truncated marks threads that hit MaxCycles before the
 	// instruction target.
-	Truncated bool
+	Truncated bool `json:"truncated"`
 }
 
-// Result is the outcome of one simulation run.
+// Result is the outcome of one simulation run. Its json encoding is
+// part of the stfm-server wire format (see ThreadResult); the encoding
+// round-trips exactly — encoding/json renders float64 values in
+// shortest-exact form — so a Result written to the disk cache and read
+// back is reflect.DeepEqual to the original.
 type Result struct {
-	Policy      PolicyKind
-	Threads     []ThreadResult
-	TotalCycles int64
+	Policy      PolicyKind     `json:"policy"`
+	Threads     []ThreadResult `json:"threads"`
+	TotalCycles int64          `json:"totalCycles"`
 	// BusUtilization is the data-bus busy fraction across channels.
-	BusUtilization float64
+	BusUtilization float64 `json:"busUtilization"`
 	// STFM diagnostics (zero unless the policy is STFM).
-	STFMUnfairness       float64
-	STFMFairnessFraction float64
+	STFMUnfairness       float64 `json:"stfmUnfairness"`
+	STFMFairnessFraction float64 `json:"stfmFairnessFraction"`
 }
 
 // System is a fully wired CMP + DRAM simulation. Construct with
@@ -244,6 +258,9 @@ func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
 	n := len(profiles)
 	if n == 0 {
 		return nil, fmt.Errorf("sim: no workload profiles given")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.InstrTarget <= 0 {
 		cfg.InstrTarget = 300_000
@@ -323,16 +340,48 @@ func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
 	}
 	s.frozen = make([]bool, n)
 	s.results = make([]ThreadResult, n)
-	s.targets = make([]int64, n)
+	s.targets = cfg.InstrTargets(profiles)
+	return s, nil
+}
+
+// InstrTargets returns the per-thread instruction targets the run
+// measures over: Config.InstrTarget (defaulted when zero) extended per
+// thread by the MinMisses floor. Exposed so job-tracking layers (the
+// stfm-server progress endpoint) can report committed instructions
+// against the same denominator the run uses.
+func (cfg Config) InstrTargets(profiles []trace.Profile) []int64 {
+	instr := cfg.InstrTarget
+	if instr <= 0 {
+		instr = 300_000
+	}
+	out := make([]int64, len(profiles))
 	for i, p := range profiles {
-		s.targets[i] = cfg.InstrTarget
+		out[i] = instr
 		if cfg.MinMisses > 0 {
-			if t := int64(float64(cfg.MinMisses) / p.MPKI * 1000); t > s.targets[i] {
-				s.targets[i] = t
+			if t := int64(float64(cfg.MinMisses) / p.MPKI * 1000); t > out[i] {
+				out[i] = t
 			}
 		}
 	}
-	return s, nil
+	return out
+}
+
+// CycleBudget returns the cycle cap RunContext enforces for this
+// configuration and workload: MaxCycles when set, otherwise the derived
+// default (80x the longest thread's instruction target; CPI rarely
+// exceeds ~40 even for the most stalled thread in a 16-core mix, so 80x
+// leaves comfortable slack).
+func (cfg Config) CycleBudget(profiles []trace.Profile) int64 {
+	if cfg.MaxCycles > 0 {
+		return cfg.MaxCycles
+	}
+	longest := cfg.InstrTarget
+	for _, t := range cfg.InstrTargets(profiles) {
+		if t > longest {
+			longest = t
+		}
+	}
+	return longest * 80
 }
 
 func (s *System) buildPolicy(mcfg memctrl.Config) (memctrl.Policy, error) {
@@ -460,9 +509,11 @@ func (s *System) takeSample(now int64) {
 		QueuedReads:  s.ctrl.QueuedReads(),
 		QueuedWrites: s.ctrl.QueuedWrites(),
 		StallCycles:  make([]int64, len(s.cores)),
+		Committed:    make([]int64, len(s.cores)),
 	}
 	for i, c := range s.cores {
 		smp.StallCycles[i] = c.MemStallCycles()
+		smp.Committed[i] = c.Committed()
 	}
 	if s.stfm != nil {
 		smp.Slowdowns = make([]float64, len(s.cores))
@@ -543,18 +594,7 @@ func (s *System) RunContext(ctx context.Context) (res *Result, err error) {
 			err = &SimError{Cycle: s.now, Check: "panic", Err: panicErr(v), Stack: debug.Stack()}
 		}
 	}()
-	maxCycles := s.cfg.MaxCycles
-	if maxCycles <= 0 {
-		// CPI rarely exceeds ~40 even for the most stalled thread in
-		// a 16-core mix; 80x leaves comfortable slack.
-		longest := s.cfg.InstrTarget
-		for _, t := range s.targets {
-			if t > longest {
-				longest = t
-			}
-		}
-		maxCycles = longest * 80
-	}
+	maxCycles := s.cfg.CycleBudget(s.profiles)
 	done := ctx.Done()
 	// Watchdog state: the next boundary to observe at, and the progress
 	// counters seen at the previous boundary. Boundaries are fixed

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 )
 
 // Sample is one interval snapshot of the live scheduler and DRAM state,
@@ -27,6 +28,12 @@ type Sample struct {
 	// StallCycles is each thread's cumulative memory stall counter
 	// (the Tshared input of Section 5.1).
 	StallCycles []int64 `json:"stall_cycles"`
+	// Committed is each thread's cumulative committed-instruction
+	// count — the run's forward-progress signal. Consumers that track
+	// completion (the stfm-server job API reports committed
+	// instructions against the per-thread target) read the latest
+	// sample instead of touching live simulator state.
+	Committed []int64 `json:"committed"`
 	// QueuedReads / QueuedWrites are the request- and write-buffer
 	// occupancies at the sample instant.
 	QueuedReads  int `json:"queued_reads"`
@@ -45,25 +52,52 @@ type Sample struct {
 }
 
 // TimeSeries is the append-only sequence of interval samples collected
-// over one run.
+// over one run. Appends and reads are mutex-synchronized so a live run
+// can be observed from another goroutine (the stfm-server status
+// endpoint polls Last while the simulation appends); appended samples
+// are never mutated, so readers may hold returned values freely.
 type TimeSeries struct {
 	// EveryCPUCycles is the realized sampling stride in CPU cycles
 	// (Collector.SampleEvery DRAM cycles times the clock ratio), set by
 	// the simulation when it attaches the series.
 	EveryCPUCycles int64
 
+	mu      sync.Mutex
 	samples []Sample
 }
 
 // Append adds one sample.
-func (ts *TimeSeries) Append(s Sample) { ts.samples = append(ts.samples, s) }
+func (ts *TimeSeries) Append(s Sample) {
+	ts.mu.Lock()
+	ts.samples = append(ts.samples, s)
+	ts.mu.Unlock()
+}
 
 // Len returns the number of samples collected.
-func (ts *TimeSeries) Len() int { return len(ts.samples) }
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.samples)
+}
 
 // Samples returns the collected samples in time order. The slice is
 // shared with the series; callers must not mutate it.
-func (ts *TimeSeries) Samples() []Sample { return ts.samples }
+func (ts *TimeSeries) Samples() []Sample {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.samples
+}
+
+// Last returns the most recent sample, or ok=false when none has been
+// taken yet. It is safe to call while the run is still appending.
+func (ts *TimeSeries) Last() (Sample, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.samples) == 0 {
+		return Sample{}, false
+	}
+	return ts.samples[len(ts.samples)-1], true
+}
 
 // WriteCSV renders the series as CSV for plotting: one row per sample
 // with cycle, occupancies, interval bus utilization, aggregate
@@ -71,12 +105,16 @@ func (ts *TimeSeries) Samples() []Sample { return ts.samples }
 // thread. Per-bank counts are summed here; the full per-bank resolution
 // is available from Samples directly.
 func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	samples := ts.Samples()
 	bw := bufio.NewWriter(w)
-	if len(ts.samples) == 0 {
+	if len(samples) == 0 {
 		return bw.Flush()
 	}
-	threads := len(ts.samples[0].StallCycles)
+	threads := len(samples[0].StallCycles)
 	header := "cycle,queued_reads,queued_writes,bus_util,row_hits,row_conflicts,unfairness,fairness_mode"
+	for i := 0; i < threads; i++ {
+		header += fmt.Sprintf(",committed%d", i)
+	}
 	for i := 0; i < threads; i++ {
 		header += fmt.Sprintf(",stall%d", i)
 	}
@@ -87,7 +125,7 @@ func (ts *TimeSeries) WriteCSV(w io.Writer) error {
 		return err
 	}
 	var prevBusy, prevCycle int64
-	for _, s := range ts.samples {
+	for _, s := range samples {
 		util := 0.0
 		if d := s.Cycle - prevCycle; d > 0 {
 			util = float64(s.BusBusyCycles-prevBusy) / float64(d)
@@ -100,6 +138,13 @@ func (ts *TimeSeries) WriteCSV(w io.Writer) error {
 		row := fmt.Sprintf("%d,%d,%d,%.4f,%d,%d,%.4f,%d",
 			s.Cycle, s.QueuedReads, s.QueuedWrites, util,
 			sum64(s.BankRowHits), sum64(s.BankRowConflicts), s.Unfairness, fm)
+		for i := 0; i < threads; i++ {
+			if s.Committed != nil {
+				row += "," + strconv.FormatInt(s.Committed[i], 10)
+			} else {
+				row += ","
+			}
+		}
 		for i := 0; i < threads; i++ {
 			row += "," + strconv.FormatInt(s.StallCycles[i], 10)
 		}
