@@ -404,6 +404,7 @@ func steppingRunTel(b *testing.B, dense bool, col *telemetry.Collector) int64 {
 // sparse workload (the pre-refactor behavior, kept behind
 // Config.DenseTick).
 func BenchmarkSteppingDense(b *testing.B) {
+	b.ReportAllocs()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
 		cycles += steppingRun(b, true)
@@ -415,6 +416,7 @@ func BenchmarkSteppingDense(b *testing.B) {
 // on the same workload; the ratio to BenchmarkSteppingDense is the
 // refactor's payoff.
 func BenchmarkSteppingEvent(b *testing.B) {
+	b.ReportAllocs()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
 		cycles += steppingRun(b, false)
@@ -427,8 +429,13 @@ func BenchmarkSteppingEvent(b *testing.B) {
 // ring); the ratio to BenchmarkSteppingEvent is the observability
 // layer's overhead when it is actually collecting. With telemetry off
 // the cost must stay at a nil check — compare BenchmarkSteppingEvent
-// against PR 1's BENCH_stepping.json for that invariant.
+// against PR 1's BENCH_stepping.json for that invariant. Allocations
+// are reported because the sampling path reserves its series up front
+// (TimeSeries.Reserve) and the event ring is fixed-size: the per-run
+// allocation delta over BenchmarkSteppingEvent must stay flat in the
+// run's sample count, never grow with its cycle count.
 func BenchmarkSteppingEventTelemetry(b *testing.B) {
+	b.ReportAllocs()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
 		col := telemetry.New(telemetry.Options{SampleEvery: 1000, TraceCap: telemetry.DefaultTraceCap})

@@ -9,11 +9,18 @@
 // bit-identical; -trace-out additionally saves that run's event ring
 // as a Chrome trace (the CI artifact).
 //
+// A second mode, -suite sched, runs the scheduler-hot-path suite
+// behind the indexed-scheduler-state PR: the 8- and 16-core STFM mixes
+// whose event-driven wall clock the optimization targets, compared
+// against the per-mix timings recorded at the pre-optimization baseline
+// commit and written to BENCH_sched.json.
+//
 // Usage:
 //
 //	stfm-bench [-mix mcf,h264ref] [-policy FR-FCFS] [-instrs 100000] \
 //	           [-minmisses 150] [-repeat 3] [-sample-every 1000] \
 //	           [-trace-out trace.json] [-o BENCH_stepping.json]
+//	stfm-bench -suite sched [-repeat 3] [-o BENCH_sched.json]
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 	"stfm/internal/experiments"
 	"stfm/internal/sim"
 	"stfm/internal/telemetry"
+	"stfm/internal/trace"
+	"stfm/internal/workloads"
 )
 
 type report struct {
@@ -73,6 +82,7 @@ func main() {
 	out := flag.String("o", "BENCH_stepping.json", "output JSON path")
 	sampleEvery := flag.Int64("sample-every", 1000, "telemetry sampling interval in DRAM cycles for the overhead run")
 	traceOut := flag.String("trace-out", "", "write the telemetered run's event ring as a Chrome trace")
+	suite := flag.String("suite", "", `named suite to run instead of a single mix ("sched")`)
 	flag.Parse()
 
 	if *repeat < 1 {
@@ -80,6 +90,18 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	switch *suite {
+	case "sched":
+		path := *out
+		if path == "BENCH_stepping.json" {
+			path = "BENCH_sched.json"
+		}
+		runSchedSuite(ctx, stop, *repeat, path)
+		return
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown suite %q (only \"sched\" exists)", *suite))
+	}
 	names := strings.Split(*mixFlag, ",")
 	profiles, err := experiments.Profiles(names...)
 	if err != nil {
@@ -171,6 +193,117 @@ func main() {
 	}
 	if !rep.TelemetryResultsIdentical {
 		fatal(fmt.Errorf("attaching telemetry changed the simulation result"))
+	}
+}
+
+// schedSuiteCommit is the commit at which the schedBaselines timings
+// were recorded, immediately before the indexed-scheduler-state
+// optimization landed. The suite reports each mix's current event-mode
+// wall clock as a ratio against these numbers.
+const schedSuiteCommit = "2d9d139"
+
+// schedMix is one timed workload of the sched suite.
+type schedMix struct {
+	Name              string         `json:"name"`
+	Mix               []string       `json:"mix"`
+	Policy            sim.PolicyKind `json:"policy"`
+	Instrs            int64          `json:"instr_target"`
+	Cycles            int64          `json:"cycles_simulated"`
+	DenseNs           int64          `json:"dense_ns"`
+	EventNs           int64          `json:"event_ns"`
+	EventCyclesPerSec float64        `json:"event_cycles_per_sec"`
+	ResultsIdentical  bool           `json:"results_identical"`
+	BaselineEventNs   int64          `json:"baseline_event_ns"`
+	SpeedupVsBaseline float64        `json:"speedup_vs_baseline"`
+}
+
+type schedReport struct {
+	Suite          string     `json:"suite"`
+	BaselineCommit string     `json:"baseline_commit"`
+	Mixes          []schedMix `json:"mixes"`
+}
+
+// runSchedSuite times the scheduler-hot-path workloads: STFM (the
+// policy that keeps the controller awake every DRAM edge, so the
+// per-edge scheduling cost dominates) on an 8-core 2-channel mix and
+// on the 16-core 4-channel high8+low8 mix. Each mix also runs densely
+// once to re-verify bit-exactness of the event engine on the exact
+// workloads the optimization is sold on.
+func runSchedSuite(ctx context.Context, stop context.CancelFunc, repeat int, out string) {
+	eight, err := experiments.Profiles("mcf", "h264ref", "bzip2", "gromacs", "gobmk", "dealII", "wrf", "namd")
+	if err != nil {
+		fatal(err)
+	}
+	sixteen := workloads.SixteenCoreMixes()[1] // high8+low8
+	cases := []struct {
+		name            string
+		profiles        []trace.Profile
+		baselineEventNs int64
+	}{
+		{"8core-2ch", eight, 229_843_963},
+		{"16core-4ch-high8+low8", sixteen.Profiles, 884_328_817},
+	}
+	rep := schedReport{Suite: "sched", BaselineCommit: schedSuiteCommit}
+	for _, tc := range cases {
+		cfg := sim.DefaultConfig(sim.PolicySTFM, len(tc.profiles))
+		cfg.InstrTarget = 60_000
+		cfg.MinMisses = 100
+		timed := func(dense bool) (*sim.Result, time.Duration) {
+			best := time.Duration(1<<63 - 1)
+			var res *sim.Result
+			for i := 0; i < repeat; i++ {
+				c := cfg
+				c.DenseTick = dense
+				start := time.Now()
+				r, err := sim.RunContext(ctx, c, tc.profiles)
+				if err != nil {
+					if errors.Is(err, sim.ErrCanceled) || errors.Is(err, sim.ErrDeadline) {
+						fmt.Fprintln(os.Stderr, "stfm-bench: interrupted, no report written:", err)
+						stop()
+						os.Exit(130)
+					}
+					fatal(err)
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				res = r
+			}
+			return res, best
+		}
+		denseRes, denseT := timed(true)
+		eventRes, eventT := timed(false)
+		names := make([]string, len(tc.profiles))
+		for i, p := range tc.profiles {
+			names[i] = p.Name
+		}
+		m := schedMix{
+			Name:              tc.name,
+			Mix:               names,
+			Policy:            cfg.Policy,
+			Instrs:            cfg.InstrTarget,
+			Cycles:            eventRes.TotalCycles,
+			DenseNs:           denseT.Nanoseconds(),
+			EventNs:           eventT.Nanoseconds(),
+			EventCyclesPerSec: float64(eventRes.TotalCycles) / eventT.Seconds(),
+			ResultsIdentical:  reflect.DeepEqual(denseRes, eventRes),
+			BaselineEventNs:   tc.baselineEventNs,
+			SpeedupVsBaseline: float64(tc.baselineEventNs) / float64(eventT.Nanoseconds()),
+		}
+		rep.Mixes = append(rep.Mixes, m)
+		fmt.Printf("%s: event %v (%.2fx vs baseline @%s), dense %v, %d cycles, identical=%v\n",
+			m.Name, eventT, m.SpeedupVsBaseline, schedSuiteCommit, denseT, m.Cycles, m.ResultsIdentical)
+		if !m.ResultsIdentical {
+			fatal(fmt.Errorf("%s: dense and event-driven results diverged", m.Name))
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
 	}
 }
 

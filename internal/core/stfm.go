@@ -111,6 +111,13 @@ type STFM struct {
 	fairnessMode bool
 	unfairness   float64
 	tmax         int
+	// orderKey/orderEpoch track the only mutable state Less consults:
+	// whether the fairness rule is engaged and, if so, which thread
+	// jumps the queue. The epoch bumps when that key changes, licensing
+	// the controller's per-bank winner memo (memctrl.OrderingPolicy) —
+	// slowdowns shift every cycle, but the *ordering* usually does not.
+	orderKey   int
+	orderEpoch uint64
 
 	// Diagnostics.
 	fairnessCycles int64
@@ -189,6 +196,7 @@ func NewSTFM(cfg Config, view memctrl.View, geom dram.Geometry, timing dram.Timi
 		}
 	}
 	s.intervalEnds = cfg.IntervalLength
+	s.orderKey = -1
 	return s, nil
 }
 
@@ -281,7 +289,20 @@ func (s *STFM) BeginCycle(now int64) {
 	if s.fairnessMode {
 		s.fairnessCycles++
 	}
+	key := -1
+	if s.fairnessMode {
+		key = s.tmax // fairnessMode implies tmax >= 0 (some thread has smax > 0)
+	}
+	if key != s.orderKey {
+		s.orderKey = key
+		s.orderEpoch++
+	}
 }
+
+// OrderEpoch implements memctrl.OrderingPolicy: the comparator's only
+// mutable inputs are the fairness-mode flag and the identity of the
+// most slowed-down thread, both recomputed in BeginCycle.
+func (s *STFM) OrderEpoch() uint64 { return s.orderEpoch }
 
 // NextPolicyEvent implements memctrl.EventPolicy. STFM does per-cycle
 // work in BeginCycle — the totalCycles/fairnessCycles accounting behind
@@ -476,6 +497,7 @@ func (s *STFM) OnSchedule(_ int64, chosen *memctrl.Candidate, ready []memctrl.Ca
 }
 
 var (
-	_ memctrl.Policy      = (*STFM)(nil)
-	_ memctrl.EventPolicy = (*STFM)(nil)
+	_ memctrl.Policy         = (*STFM)(nil)
+	_ memctrl.EventPolicy    = (*STFM)(nil)
+	_ memctrl.OrderingPolicy = (*STFM)(nil)
 )

@@ -102,6 +102,29 @@ type Core struct {
 	cycles     int64
 	dramLoads  int64
 	l2MissHead bool
+
+	// nextAt is the next cycle the core must be Tick'd at to stay
+	// cycle-accurate: Tick's self-scheduled event when it has one, the
+	// next cycle when an external unblock must be polled for (a
+	// resource-rejected load, a back-pressured writeback), and Horizon
+	// when the core is parked — every state change it waits for arrives
+	// through one of its own completion callbacks, which reset nextAt.
+	// The engine simply skips Ticks on cycles before nextAt; the
+	// bookkeeping those ticks would have performed is applied lazily by
+	// FlushIdle.
+	nextAt int64
+
+	// Lazy idle accounting. settled is the exclusive upper bound of the
+	// cycles already reflected in the architected counters; cycles in
+	// [settled, now) of a parked window are accounted in bulk by
+	// FlushIdle using the per-cycle rates recorded at the last Tick.
+	// The rates are frozen at tick time deliberately: a completion
+	// callback firing at cycle T mutates window state before the core's
+	// own Tick at T, but the idle window it terminates ends at T, so the
+	// park-time classification is the correct one for every cycle in it.
+	settled      int64
+	idleHasWork  bool // a parked cycle is a stall cycle (stallAny)
+	idleMemStall bool // ... and a Tshared memory-stall cycle (memStall)
 }
 
 // New builds a core with the given id over a memory port and an
@@ -162,14 +185,18 @@ func (c *Core) MCPI() float64 {
 // buffers). Ticking the core on cycles it did not ask for is always
 // safe; failing to tick it at its reported cycle is not.
 func (c *Core) Tick(now int64) int64 {
+	c.FlushIdle(now)
+	c.settled = now + 1
 	c.cycles++
 	c.fetchedMem = false
 	committed := c.commit()
 	c.issueLoads(now)
 	c.fetch(now)
+	hasWork := len(c.window) > 0 || c.fetching || !c.streamDone
 	if committed == 0 {
-		hasWork := len(c.window) > 0 || c.fetching || !c.streamDone
 		if !hasWork {
+			c.recordIdleRates(false)
+			c.nextAt = Horizon
 			return Horizon
 		}
 		c.stallAny++
@@ -182,7 +209,69 @@ func (c *Core) Tick(now int64) int64 {
 			}
 		}
 	}
-	return c.nextEvent(now)
+	n := c.nextEvent(now)
+	c.nextAt = n
+	if n >= Horizon {
+		// The engine may skip this core — the jump target is bounded
+		// by the returned horizon, so even a polling core is passed
+		// over when the system jumps beyond now+1. Freeze the idle
+		// classification for FlushIdle's bulk accounting. When n is
+		// now+1 the core provably ticks next cycle, the flush window
+		// stays empty, and the rates are never read — skip the work.
+		c.recordIdleRates(hasWork)
+		if !c.parkSafe() {
+			// Fully stalled, but an unblock must be polled for: it
+			// arrives as shared-resource back-pressure clearing (a
+			// rejected load or writeback), not as one of this core's
+			// completion callbacks.
+			c.nextAt = now + 1
+		}
+	}
+	return n
+}
+
+// recordIdleRates freezes the per-cycle stall classification of the
+// post-tick state for FlushIdle's bulk accounting. On an idle cycle the
+// core commits nothing by definition, so the classification is exactly
+// what a dense Tick would apply: a stall cycle whenever in-flight work
+// exists, and a Tshared memory-stall cycle when additionally the oldest
+// instruction is an incomplete L2 miss. That state is invariant while
+// the core is parked — it changes only through the core's own activity
+// or a completion callback, and a callback firing at cycle T wakes the
+// core for a Tick at T, ending the idle window there.
+func (c *Core) recordIdleRates(hasWork bool) {
+	c.idleHasWork = hasWork
+	c.idleMemStall = false
+	if hasWork && len(c.window) > 0 {
+		head := c.window[0]
+		if head.compute == 0 && head.hasMem && !head.memDone && head.l2Miss {
+			c.idleMemStall = true
+		}
+	}
+}
+
+// NextAt returns the next cycle the core must be Tick'd at. On cycles
+// before it, the core is provably inert — the engine skips the Tick
+// entirely and the skipped cycles' stall accounting is applied lazily
+// by FlushIdle. Completion callbacks pull it to the cycle they fire at,
+// so it must be re-read every cycle after the memory system has acted.
+func (c *Core) NextAt() int64 { return c.nextAt }
+
+// parkSafe reports whether every unblock the stalled core is waiting
+// for arrives via one of its own completion callbacks (which reset
+// nextAt). A rejected writeback or a load held back by anything other
+// than a busy dependence chain of this core clears through shared
+// state the callbacks do not cover, so the core must poll instead.
+func (c *Core) parkSafe() bool {
+	if c.storeBlocked {
+		return false
+	}
+	for _, e := range c.unissued {
+		if !e.dep || c.chainOutstanding(e.chain) == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // nextEvent reports, from post-tick state, whether the core can act at
@@ -219,27 +308,30 @@ func (c *Core) nextEvent(now int64) int64 {
 	return Horizon
 }
 
-// AdvanceIdle accounts k cycles during which the simulation proved the
-// core cannot act (Tick returned Horizon and no external completion
-// fired). It applies exactly the per-cycle bookkeeping a dense Tick
-// performs on such cycles: the cycle counter always advances, and the
-// stall counters advance when there is in-flight work, with a Tshared
-// memory-stall cycle when the head is an incomplete L2 miss. The
-// head's classification cannot change during the window — completions
-// only fire at ticked cycles — so bulk accounting is bit-identical to
-// k dense ticks.
-func (c *Core) AdvanceIdle(k int64) {
+// FlushIdle brings the architected counters up to date through cycle
+// now-1, bulk-accounting the skipped idle window [settled, now) at the
+// rates recorded when the core parked. It applies exactly the per-cycle
+// bookkeeping a dense Tick performs on inert cycles — the cycle counter
+// always advances; the stall counters advance at the park-time
+// classification (see recordIdleRates for why that classification is
+// exact for the whole window) — so lazy accounting is bit-identical to
+// dense ticking. Callers must flush before reading MemStallCycles,
+// StallCycles or Cycles of a possibly-skipped core; Tick flushes
+// itself. Flushing is idempotent and monotone: a second call with the
+// same or an earlier cycle is a no-op.
+func (c *Core) FlushIdle(now int64) {
+	k := now - c.settled
+	if k <= 0 {
+		return
+	}
+	c.settled = now
 	c.cycles += k
-	hasWork := len(c.window) > 0 || c.fetching || !c.streamDone
-	if !hasWork {
+	if !c.idleHasWork {
 		return
 	}
 	c.stallAny += k
-	if len(c.window) > 0 {
-		head := c.window[0]
-		if head.compute == 0 && head.hasMem && !head.memDone && head.l2Miss {
-			c.memStall += k
-		}
+	if c.idleMemStall {
+		c.memStall += k
 	}
 }
 
@@ -354,9 +446,14 @@ func (c *Core) issueLoads(now int64) {
 			continue
 		}
 		e := e
-		accepted, l2Miss := c.mem.Load(now, e.addr, func(int64) {
+		accepted, l2Miss := c.mem.Load(now, e.addr, func(at int64) {
 			e.memDone = true
 			c.chainBusy[e.chain]--
+			// Wake a parked core: the completion may unblock commit or
+			// a dependent load at the cycle it fires.
+			if at < c.nextAt {
+				c.nextAt = at
+			}
 		})
 		if !accepted {
 			kept = append(kept, e) // resources exhausted; retry next cycle

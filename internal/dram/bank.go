@@ -56,7 +56,21 @@ type Bank struct {
 	// activate, and write recovery / read completion of the last
 	// column access).
 	preReadyAt int64
+
+	// epoch counts state transitions: it is bumped by every command
+	// issued to the bank (activate, column access, precharge) and by
+	// auto-refresh. Because the row-buffer state and the three readiness
+	// timestamps above change only at those points, a memoized
+	// NextCommand/NextReady answer for this bank stays valid for as long
+	// as the epoch (combined with the channel's shared-constraint epoch,
+	// see Channel.BankEpoch) is unchanged.
+	epoch uint64
 }
+
+// Epoch returns the bank's state epoch. It changes whenever the bank's
+// row-buffer state or readiness timestamps change; bank-local scheduling
+// answers memoized at one epoch are exact while it holds.
+func (b *Bank) Epoch() uint64 { return b.epoch }
 
 // State returns the bank's coarse state.
 func (b *Bank) State() BankState { return b.state }
@@ -103,6 +117,7 @@ func (b *Bank) Activate(now int64, row int, t Timing) {
 	b.openRow = row
 	b.colReadyAt = now + t.RCD
 	b.preReadyAt = now + t.RAS
+	b.epoch++
 }
 
 // Column issues a read or write at cycle now and returns the cycle at
@@ -119,6 +134,7 @@ func (b *Bank) Column(now int64, write bool, t Timing) (burstDone int64) {
 	if ready > b.preReadyAt {
 		b.preReadyAt = ready
 	}
+	b.epoch++
 	return burstDone
 }
 
@@ -127,4 +143,5 @@ func (b *Bank) Column(now int64, write bool, t Timing) (burstDone int64) {
 func (b *Bank) Precharge(now int64, t Timing) {
 	b.state = BankClosed
 	b.actReadyAt = now + t.RP
+	b.epoch++
 }

@@ -56,12 +56,20 @@ type Channel struct {
 	// writeRecoveryEnd is the last write burst's end plus tWTR.
 	writeRecoveryEnd int64
 
+	// sharedEpoch counts changes to the rank- and bus-level constraint
+	// state above (activate history for tRRD/tFAW, data-bus occupancy,
+	// read/write turnaround). Together with a bank's own epoch it forms
+	// the validity key for memoized NextCommand/NextReady answers: see
+	// BankEpoch. Starts at 1 so the combined epoch is never zero — a
+	// zero cache key can then mean "never computed".
+	sharedEpoch uint64
+
 	stats Stats
 }
 
 // NewChannel creates a channel with the given number of banks.
 func NewChannel(banks int, t Timing) *Channel {
-	c := &Channel{timing: t, banks: make([]Bank, banks), nextRefreshAt: t.REFI}
+	c := &Channel{timing: t, banks: make([]Bank, banks), nextRefreshAt: t.REFI, sharedEpoch: 1}
 	for i := range c.actTimes {
 		c.actTimes[i] = -1 << 62
 	}
@@ -73,10 +81,11 @@ func NewChannel(banks int, t Timing) *Channel {
 // MaybeRefresh performs an all-bank auto-refresh when the refresh
 // interval has elapsed: all banks are precharged and blocked for RFC
 // cycles. It is a no-op when refresh is disabled. The controller
-// calls it once per DRAM cycle, before scheduling.
-func (c *Channel) MaybeRefresh(now int64) {
+// calls it once per DRAM cycle, before scheduling; the returned flag
+// reports whether a refresh fired (and bank state therefore changed).
+func (c *Channel) MaybeRefresh(now int64) bool {
 	if c.timing.REFI <= 0 || now < c.nextRefreshAt {
-		return
+		return false
 	}
 	for i := range c.banks {
 		b := &c.banks[i]
@@ -86,11 +95,14 @@ func (c *Channel) MaybeRefresh(now int64) {
 		if at := now + c.timing.RFC; at > b.actReadyAt {
 			b.actReadyAt = at
 		}
+		b.epoch++
 	}
+	c.sharedEpoch++
 	c.stats.Refreshes++
 	for c.nextRefreshAt <= now {
 		c.nextRefreshAt += c.timing.REFI
 	}
+	return true
 }
 
 // Timing returns the channel's timing parameters.
@@ -101,6 +113,18 @@ func (c *Channel) NumBanks() int { return len(c.banks) }
 
 // Bank returns the bank with the given index.
 func (c *Channel) Bank(i int) *Bank { return &c.banks[i] }
+
+// BankEpoch returns the combined state epoch governing scheduling
+// answers for the bank: the bank's own epoch plus the channel's
+// shared-constraint epoch. Both components are monotonically
+// non-decreasing, so their sum changes whenever either does — a
+// NextCommand/CommandReadyAt result memoized under one BankEpoch value
+// is exact for as long as BankEpoch returns that same value. It is
+// never zero (sharedEpoch starts at 1), so callers may use zero as the
+// "no cached answer" sentinel.
+func (c *Channel) BankEpoch(bank int) uint64 {
+	return c.sharedEpoch + c.banks[bank].epoch
+}
 
 // Stats returns a copy of the channel's counters.
 func (c *Channel) Stats() Stats { return c.stats }
@@ -179,19 +203,33 @@ func (c *Channel) CanIssue(cmd Command, now int64) bool {
 // be the command NextCommand currently returns for its bank (the
 // bank-state precondition of CanIssue).
 func (c *Channel) NextReady(cmd Command, now int64) int64 {
+	return max(now, c.CommandReadyAt(cmd))
+}
+
+// CommandReadyAt returns the absolute cycle at which cmd satisfies
+// every bank and data-bus timing constraint, with no clamp to the
+// present: NextReady(cmd, now) == max(now, CommandReadyAt(cmd)), and —
+// given the bank-state precondition of CanIssue — CanIssue(cmd, t)
+// holds for t >= 0 iff t >= CommandReadyAt(cmd). The result depends
+// only on state covered by BankEpoch(cmd.Bank), which is what makes it
+// memoizable: the controller caches it per request and revalidates with
+// a single epoch comparison instead of recomputing the constraint max
+// on every DRAM edge. The value may be negative (constraint sentinels
+// predate cycle 0); callers compare, they don't schedule at it.
+func (c *Channel) CommandReadyAt(cmd Command) int64 {
 	b := &c.banks[cmd.Bank]
-	at := now
+	var at int64
 	switch cmd.Kind {
 	case CmdActivate:
-		at = max(at, b.actReadyAt)
+		at = b.actReadyAt
 		// tRRD against the most recent activate on the rank.
 		at = max(at, c.actTimes[(c.actNext+3)%4]+c.timing.RRD)
 		// tFAW: the fourth-last activate must be at least FAW old.
 		at = max(at, c.actTimes[c.actNext]+c.timing.FAW)
 	case CmdPrecharge:
-		at = max(at, b.preReadyAt)
+		at = b.preReadyAt
 	case CmdRead, CmdWrite:
-		at = max(at, b.colReadyAt)
+		at = b.colReadyAt
 		// The burst window [at+CL, at+CL+BL) must start at or after
 		// dataBusFreeAt.
 		at = max(at, c.dataBusFreeAt-c.timing.CL)
@@ -246,6 +284,7 @@ func (c *Channel) Issue(cmd Command, now int64) (burstDone int64) {
 		b.Activate(now, cmd.Row, c.timing)
 		c.actTimes[c.actNext] = now
 		c.actNext = (c.actNext + 1) % 4
+		c.sharedEpoch++
 		c.stats.Activates++
 		return 0
 	case CmdPrecharge:
@@ -255,6 +294,7 @@ func (c *Channel) Issue(cmd Command, now int64) (burstDone int64) {
 	default:
 		burstDone = b.Column(now, cmd.Kind == CmdWrite, c.timing)
 		c.dataBusFreeAt = burstDone
+		c.sharedEpoch++
 		c.stats.BusyCycles += c.timing.BurstCycles
 		if cmd.Kind == CmdWrite {
 			c.writeRecoveryEnd = burstDone + c.timing.WTR

@@ -147,3 +147,46 @@ func TestCheckedEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestEquivalenceAllPoliciesMultiChannel extends the matrix to every
+// implemented scheduler — the paper's five plus the follow-up PAR-BS
+// and TCM — on an 8-core, 2-channel mix. The multi-channel 8-core shape
+// is where the indexed scheduler state earns its keep (per-bank winner
+// memos, cached channel horizons, per-core gating with lazy idle
+// accounting all active at once), so every policy must still match the
+// dense oracle bit for bit there. Skipped under -short: seven 8-core
+// dense runs dominate the package's test time.
+func TestEquivalenceAllPoliciesMultiChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seven dense 8-core runs; skipped under -short")
+	}
+	t.Parallel()
+	mix := []string{"mcf", "h264ref", "bzip2", "gromacs", "gobmk", "dealII", "wrf", "namd"}
+	for _, pol := range sim.ExtendedPolicies() {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			t.Parallel()
+			profiles, err := Profiles(mix...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := sim.DefaultConfig(pol, len(profiles))
+			cfg.InstrTarget = 10_000
+			cfg.MinMisses = 30
+
+			cfg.DenseTick = true
+			dense, err := sim.Run(cfg, profiles)
+			if err != nil {
+				t.Fatalf("dense run: %v", err)
+			}
+			cfg.DenseTick = false
+			event, err := sim.Run(cfg, profiles)
+			if err != nil {
+				t.Fatalf("event run: %v", err)
+			}
+			if !reflect.DeepEqual(dense, event) {
+				t.Errorf("dense and event-driven results diverge\ndense: %+v\nevent: %+v", dense, event)
+			}
+		})
+	}
+}

@@ -55,8 +55,14 @@ func (c *Controller) ServicedWrites() int64 {
 
 // CheckInvariants verifies the controller's internal accounting:
 //
-//   - the queued-read/-write counters match the per-channel queue
-//     contents, and per-thread queued counts match the queues;
+//   - the queued-read/-write counters (global and per-channel) match
+//     the bank-queue contents, every request sits in the bank queue its
+//     address maps to, and per-thread queued counts match the queues;
+//   - the incremental per-thread per-bank waiting index (queuedBank /
+//     queuedBanks, backing the O(1) View.QueuedBanks query) matches a
+//     from-scratch recount;
+//   - every per-bank winner memo whose queue version is still current
+//     points at a request actually present in that bank's queue;
 //   - queue occupancy respects the configured buffer capacities;
 //   - per-bank in-service counts are non-negative;
 //   - request conservation: every accepted request is exactly one of
@@ -70,14 +76,33 @@ func (c *Controller) ServicedWrites() int64 {
 func (c *Controller) CheckInvariants() error {
 	reads, writes := 0, 0
 	perThr := make([]int, len(c.queuedPerThr))
-	for ch := range c.reads {
-		reads += len(c.reads[ch])
-		for _, r := range c.reads[ch] {
-			perThr[r.Thread]++
-		}
+	chReads := make([]int, len(c.chReads))
+	chWrites := make([]int, len(c.chWrites))
+	qBank := make([][]int16, len(c.queuedBank))
+	for t := range qBank {
+		qBank[t] = make([]int16, len(c.queuedBank[t]))
 	}
-	for ch := range c.writes {
-		writes += len(c.writes[ch])
+	for idx := range c.queues {
+		ch, bank := idx/c.banksPer, idx%c.banksPer
+		q := &c.queues[idx]
+		reads += len(q.reads)
+		chReads[ch] += len(q.reads)
+		for _, r := range q.reads {
+			if r.Loc.Channel != ch || r.Loc.Bank != bank {
+				return fmt.Errorf("memctrl: read %d for (ch %d, bank %d) filed under (ch %d, bank %d)",
+					r.ID, r.Loc.Channel, r.Loc.Bank, ch, bank)
+			}
+			perThr[r.Thread]++
+			qBank[r.Thread][idx]++
+		}
+		writes += len(q.writes)
+		chWrites[ch] += len(q.writes)
+		for _, r := range q.writes {
+			if r.Loc.Channel != ch || r.Loc.Bank != bank {
+				return fmt.Errorf("memctrl: write %d for (ch %d, bank %d) filed under (ch %d, bank %d)",
+					r.ID, r.Loc.Channel, r.Loc.Bank, ch, bank)
+			}
+		}
 	}
 	if reads != c.queuedReads {
 		return fmt.Errorf("memctrl: queuedReads counter %d, but %d reads queued", c.queuedReads, reads)
@@ -85,9 +110,58 @@ func (c *Controller) CheckInvariants() error {
 	if writes != c.queuedWrites {
 		return fmt.Errorf("memctrl: queuedWrites counter %d, but %d writes queued", c.queuedWrites, writes)
 	}
+	for ch := range chReads {
+		if chReads[ch] != c.chReads[ch] {
+			return fmt.Errorf("memctrl: channel %d chReads counter %d, but %d reads queued", ch, c.chReads[ch], chReads[ch])
+		}
+		if chWrites[ch] != c.chWrites[ch] {
+			return fmt.Errorf("memctrl: channel %d chWrites counter %d, but %d writes queued", ch, c.chWrites[ch], chWrites[ch])
+		}
+	}
 	for t, n := range perThr {
 		if n != c.queuedPerThr[t] {
 			return fmt.Errorf("memctrl: thread %d queuedPerThr counter %d, but %d reads queued", t, c.queuedPerThr[t], n)
+		}
+	}
+	for t := range qBank {
+		banks := 0
+		for idx, n := range qBank[t] {
+			if n != c.queuedBank[t][idx] {
+				return fmt.Errorf("memctrl: thread %d queuedBank[%d] counter %d, but %d reads waiting",
+					t, idx, c.queuedBank[t][idx], n)
+			}
+			if n > 0 {
+				banks++
+			}
+		}
+		if banks != c.queuedBanks[t] {
+			return fmt.Errorf("memctrl: thread %d queuedBanks counter %d, but %d banks have waiting reads",
+				t, c.queuedBanks[t], banks)
+		}
+	}
+	for idx := range c.memo {
+		m := &c.memo[idx]
+		if m.qver == 0 || m.qver != c.queues[idx].ver {
+			continue // never stored, or membership changed since
+		}
+		q := &c.queues[idx]
+		found := false
+		for _, r := range q.reads {
+			if r == m.winner {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, r := range q.writes {
+				if r == m.winner {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("memctrl: bank index %d winner memo (qver %d) points at a request not in the bank queue", idx, m.qver)
 		}
 	}
 	if c.queuedReads > c.cfg.ReadBufferCap {
@@ -171,11 +245,17 @@ func (c *Controller) Snapshot(now int64) Snapshot {
 	}
 	for ch := range c.channels {
 		cs := ChannelSnapshot{}
-		for _, r := range c.reads[ch] {
-			cs.Reads = append(cs.Reads, snap(r))
+		for b := 0; b < c.banksPer; b++ {
+			q := &c.queues[ch*c.banksPer+b]
+			for _, r := range q.reads {
+				cs.Reads = append(cs.Reads, snap(r))
+			}
 		}
-		for _, r := range c.writes[ch] {
-			cs.Writes = append(cs.Writes, snap(r))
+		for b := 0; b < c.banksPer; b++ {
+			q := &c.queues[ch*c.banksPer+b]
+			for _, r := range q.writes {
+				cs.Writes = append(cs.Writes, snap(r))
+			}
 		}
 		for b := 0; b < c.channels[ch].NumBanks(); b++ {
 			bank := c.channels[ch].Bank(b)

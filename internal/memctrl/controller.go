@@ -75,6 +75,48 @@ func (s ThreadStats) AvgReadLatency() float64 {
 	return float64(s.TotalReadLatency) / float64(s.ReadsServiced)
 }
 
+// bankQueue holds the requests waiting for one (channel, bank) pair,
+// reads and writes separately. Requests are indexed here at enqueue
+// time so per-bank arbitration scans only the bank's own queue. Order
+// within the slices is not meaningful; arrival order lives in
+// Request.ID (every policy's comparator is a total order ending in the
+// ID tie-break, so arbitration is scan-order independent — pinned by
+// TestPolicySelectionIsScanOrderIndependent).
+type bankQueue struct {
+	reads  []*Request
+	writes []*Request
+	// ver counts membership changes (enqueue or removal) to either
+	// slice. Together with the bank's state epoch and the policy's
+	// OrderEpoch it keys the per-bank winner memo: while all three are
+	// unchanged, last edge's level-1 tournament outcome still holds.
+	// Starts at 1 so a zero-valued memo never validates.
+	ver uint64
+}
+
+// bankMemo caches one bank's level-1 arbitration outcome. The winner is
+// reusable while (a) the queue membership is unchanged (qver), (b) the
+// bank's own state is unchanged (bankEp — the bank-local epoch, not the
+// combined BankEpoch: shared-constraint changes move readiness times but
+// never the winner, since level-1 arbitration ignores readiness and
+// NextCommand depends only on bank row state), (c) the policy's ordering
+// is unchanged (orderEp), and (d) the read/write eligibility inputs are
+// unchanged (draining, useWrites — they depend on channel- and
+// global-level occupancy the bank-local keys don't see). minReady is the
+// minimum CommandReadyAt over the bank's eligible requests as of the
+// last full scan; every constraint timestamp is monotonically
+// non-decreasing while the bank state holds, so it stays a sound lower
+// bound for the no-issue horizon (conservative: may wake early, never
+// late) and is re-tightened in place when it falls due.
+type bankMemo struct {
+	winner    *Request
+	qver      uint64
+	bankEp    uint64
+	orderEp   uint64
+	minReady  int64
+	draining  bool
+	useWrites bool
+}
+
 // Controller is the DRAM memory controller: it buffers requests from
 // all cores, translates them to DRAM commands, and issues at most one
 // ready command per channel per DRAM cycle, chosen by the configured
@@ -83,15 +125,44 @@ type Controller struct {
 	cfg      Config
 	channels []*dram.Channel
 	policy   Policy
+	// batch/eventPol/ordering cache the policy's optional-interface
+	// assertions, resolved once in SetPolicy so the per-edge path does
+	// not repeat them.
+	batch    BatchPolicy
+	eventPol EventPolicy
+	ordering OrderingPolicy
 
-	// Queued requests per channel, reads and writes separately. Order
-	// within the slices is not meaningful; arrival order lives in
-	// Request.ID.
-	reads  [][]*Request
-	writes [][]*Request
+	// banksPer caches Geometry.BanksPerChannel; queues is the request
+	// index, addressed queues[ch*banksPer+bank], and memo the per-bank
+	// winner cache with the same addressing (consulted only when the
+	// policy implements OrderingPolicy).
+	banksPer int
+	queues   []bankQueue
+	memo     []bankMemo
+	// chReads/chWrites count queued requests per channel (sums of the
+	// channel's bank queues), so empty channels are skipped in O(1).
+	chReads  []int
+	chWrites []int
+	// chHorizon memoizes a channel's no-issue scheduling horizon: when
+	// scheduleChannel finds no ready candidate, nothing on the channel
+	// can issue before the horizon regardless of policy (a ready
+	// candidate would have made *some* winner issue), so the per-edge
+	// rescan is skipped until then. The cache is invalidated (set to 0)
+	// by every event that can change the channel's candidate set or
+	// timing: an enqueue to the channel, a command issue on it, a
+	// refresh, and any change to the global write-buffer occupancy
+	// (which feeds every channel's drain hysteresis and write
+	// eligibility). Between invalidations the channel's queues, bank
+	// state, and eligibility are provably constant, so skipped edges
+	// compute nothing a scan would.
+	chHorizon []int64
 	// inFlight holds requests whose column access has issued and
 	// whose completion time is pending.
 	inFlight []*Request
+	// due is completeFinished's scratch for the requests completing on
+	// the current edge (fired in deterministic CompleteAt-then-ID
+	// order).
+	due []*Request
 
 	nextID       uint64
 	queuedReads  int
@@ -102,8 +173,15 @@ type Controller struct {
 	// identity CheckInvariants verifies.
 	enqueuedReads  int64
 	enqueuedWrites int64
-	draining     []bool
-	queuedPerThr []int // queued read requests per thread
+	draining       []bool
+	queuedPerThr   []int // queued read requests per thread
+	// queuedBank[thread][channel*banks+bank] counts the thread's
+	// waiting (not yet column-issued) reads per bank; queuedBanks[t] is
+	// the number of banks with a non-zero count — the paper's
+	// BankWaitingParallelism register, maintained incrementally so the
+	// View query is O(1) instead of a scan over every queued read.
+	queuedBank  [][]int16
+	queuedBanks []int
 	// inServiceBank[thread][channel*banks+bank] counts the thread's
 	// started-but-incomplete reads per bank; inServiceBanks[thread] is
 	// the number of banks with a non-zero count (the paper's
@@ -112,8 +190,18 @@ type Controller struct {
 	inServiceBanks []int
 
 	threadStats []ThreadStats
-	scratch     []Candidate
-	bankBest    []*Candidate
+	// scratch is the per-channel candidate slice, materialized only
+	// when a command issues (for Policy.OnSchedule) or when a
+	// BatchPolicy needs the waiting set; bankCand holds each bank's
+	// level-1 winner, bankBest the per-bank winner pointers, and
+	// challenger is the stack-avoiding slot candidates are staged in
+	// before comparison (policies receive *Candidate, and a pointer
+	// into controller-owned memory keeps the edge path free of
+	// escape-analysis heap allocations).
+	scratch    []Candidate
+	bankCand   []Candidate
+	bankBest   []*Candidate
+	challenger Candidate
 	// reserved[ch][bank] is the request whose activate opened the
 	// bank's current row and whose column access has not issued yet.
 	// Until that column access issues, the bank is not re-arbitrated
@@ -161,23 +249,45 @@ func NewController(cfg Config, policy Policy) (*Controller, error) {
 	if cfg.ReadBufferCap <= 0 || cfg.WriteBufferCap <= 0 {
 		return nil, fmt.Errorf("memctrl: buffer capacities must be positive")
 	}
+	banks := cfg.Geometry.BanksPerChannel
+	// Every live-queue container is sized for its worst case up front so
+	// the edge path never grows a slice: the whole per-edge scheduling
+	// loop is allocation-free (asserted by TestEdgePathZeroAllocs).
+	bufCap := cfg.ReadBufferCap + cfg.WriteBufferCap
 	c := &Controller{
 		cfg:            cfg,
-		policy:         policy,
-		reads:          make([][]*Request, cfg.Geometry.Channels),
-		writes:         make([][]*Request, cfg.Geometry.Channels),
+		banksPer:       banks,
+		queues:         make([]bankQueue, cfg.Geometry.Channels*banks),
+		memo:           make([]bankMemo, cfg.Geometry.Channels*banks),
+		chReads:        make([]int, cfg.Geometry.Channels),
+		chWrites:       make([]int, cfg.Geometry.Channels),
+		chHorizon:      make([]int64, cfg.Geometry.Channels),
+		inFlight:       make([]*Request, 0, bufCap),
+		due:            make([]*Request, 0, bufCap),
 		draining:       make([]bool, cfg.Geometry.Channels),
 		queuedPerThr:   make([]int, cfg.NumThreads),
+		queuedBank:     make([][]int16, cfg.NumThreads),
+		queuedBanks:    make([]int, cfg.NumThreads),
 		inServiceBank:  make([][]int16, cfg.NumThreads),
 		inServiceBanks: make([]int, cfg.NumThreads),
 		threadStats:    make([]ThreadStats, cfg.NumThreads),
+		scratch:        make([]Candidate, 0, bufCap),
+		bankCand:       make([]Candidate, banks),
+		bankBest:       make([]*Candidate, banks),
 	}
+	c.setPolicy(policy)
 	for i := range c.inServiceBank {
-		c.inServiceBank[i] = make([]int16, cfg.Geometry.Channels*cfg.Geometry.BanksPerChannel)
+		c.inServiceBank[i] = make([]int16, cfg.Geometry.Channels*banks)
+		c.queuedBank[i] = make([]int16, cfg.Geometry.Channels*banks)
+	}
+	for i := range c.queues {
+		c.queues[i].reads = make([]*Request, 0, cfg.ReadBufferCap)
+		c.queues[i].writes = make([]*Request, 0, cfg.WriteBufferCap)
+		c.queues[i].ver = 1
 	}
 	for i := 0; i < cfg.Geometry.Channels; i++ {
-		c.channels = append(c.channels, dram.NewChannel(cfg.Geometry.BanksPerChannel, cfg.Timing))
-		c.reserved = append(c.reserved, make([]*Request, cfg.Geometry.BanksPerChannel))
+		c.channels = append(c.channels, dram.NewChannel(banks, cfg.Timing))
+		c.reserved = append(c.reserved, make([]*Request, banks))
 	}
 	return c, nil
 }
@@ -187,7 +297,14 @@ func (c *Controller) Config() Config { return c.cfg }
 
 // SetPolicy installs the scheduling policy. It must be called before
 // the first Tick when the controller was constructed without one.
-func (c *Controller) SetPolicy(p Policy) { c.policy = p }
+func (c *Controller) SetPolicy(p Policy) { c.setPolicy(p) }
+
+func (c *Controller) setPolicy(p Policy) {
+	c.policy = p
+	c.batch, _ = p.(BatchPolicy)
+	c.eventPol, _ = p.(EventPolicy)
+	c.ordering, _ = p.(OrderingPolicy)
+}
 
 // Policy returns the installed scheduling policy.
 func (c *Controller) Policy() Policy { return c.policy }
@@ -206,7 +323,7 @@ func (c *Controller) ThreadStats(thread int) ThreadStats { return c.threadStats[
 // no attach, every instrumentation point reduces to a nil check.
 func (c *Controller) AttachTelemetry(tr *telemetry.Tracer) {
 	c.trace = tr
-	n := c.cfg.Geometry.Channels * c.cfg.Geometry.BanksPerChannel
+	n := c.cfg.Geometry.Channels * c.banksPer
 	c.bankHits = make([]int64, n)
 	c.bankClosed = make([]int64, n)
 	c.bankConflicts = make([]int64, n)
@@ -246,10 +363,19 @@ func (c *Controller) EnqueueRead(now int64, thread int, lineAddr uint64, onCompl
 	}
 	r := c.newRequest(now, thread, lineAddr, false)
 	r.OnComplete = onComplete
-	c.reads[r.Loc.Channel] = append(c.reads[r.Loc.Channel], r)
+	idx := r.Loc.Channel*c.banksPer + r.Loc.Bank
+	q := &c.queues[idx]
+	q.reads = append(q.reads, r)
+	q.ver++
+	c.chReads[r.Loc.Channel]++
+	c.chHorizon[r.Loc.Channel] = 0
 	c.queuedReads++
 	c.enqueuedReads++
 	c.queuedPerThr[thread]++
+	if c.queuedBank[thread][idx] == 0 {
+		c.queuedBanks[thread]++
+	}
+	c.queuedBank[thread][idx]++
 	if c.trace != nil {
 		c.traceLifecycle(telemetry.EvEnqueue, now, r)
 	}
@@ -264,9 +390,17 @@ func (c *Controller) EnqueueWrite(now int64, thread int, lineAddr uint64) bool {
 		return false
 	}
 	r := c.newRequest(now, thread, lineAddr, true)
-	c.writes[r.Loc.Channel] = append(c.writes[r.Loc.Channel], r)
+	q := &c.queues[r.Loc.Channel*c.banksPer+r.Loc.Bank]
+	q.writes = append(q.writes, r)
+	q.ver++
+	c.chWrites[r.Loc.Channel]++
 	c.queuedWrites++
 	c.enqueuedWrites++
+	// The write-buffer occupancy feeds every channel's drain
+	// hysteresis, so a change invalidates all cached horizons.
+	for i := range c.chHorizon {
+		c.chHorizon[i] = 0
+	}
 	if c.trace != nil {
 		c.traceLifecycle(telemetry.EvEnqueue, now, r)
 	}
@@ -300,13 +434,29 @@ func (c *Controller) Tick(now int64) int64 {
 	c.policy.BeginCycle(now)
 	next := dram.Horizon
 	for ch := range c.channels {
-		c.channels[ch].MaybeRefresh(now)
-		if c.scheduleChannel(ch, now) {
+		if c.channels[ch].MaybeRefresh(now) {
+			c.chHorizon[ch] = 0
+		}
+		// A cached no-issue horizon still in the future means the
+		// channel's state has not changed since the last scan and no
+		// candidate can become ready yet: skip the rescan outright.
+		if h := c.chHorizon[ch]; now < h {
+			if h < next {
+				next = h
+			}
+			continue
+		}
+		issued, h := c.scheduleChannel(ch, now)
+		if issued {
 			// One command per channel per DRAM cycle: having issued,
 			// the channel may have more ready work next edge.
+			c.chHorizon[ch] = 0
 			next = min(next, c.nextEdge(now))
-		} else if h := c.channelHorizon(ch, now); h < next {
-			next = h
+		} else {
+			c.chHorizon[ch] = h
+			if h < next {
+				next = h
+			}
 		}
 	}
 	// Wake for the earliest in-flight completion, pending refresh
@@ -319,8 +469,8 @@ func (c *Controller) Tick(now int64) int64 {
 			next = min(next, c.edgeCeil(at))
 		}
 	}
-	if ep, ok := c.policy.(EventPolicy); ok {
-		if at := ep.NextPolicyEvent(now); at < dram.Horizon {
+	if c.eventPol != nil {
+		if at := c.eventPol.NextPolicyEvent(now); at < dram.Horizon {
 			next = min(next, c.edgeCeil(at))
 		}
 	}
@@ -362,43 +512,61 @@ func (c *Controller) edgeCeil(t int64) int64 {
 	return t
 }
 
-// channelHorizon returns the earliest DRAM edge at which any of the
-// channel's candidate requests could have a ready command, assuming no
-// intervening event — the controller's wake-up when an edge ends with
-// no command issued on the channel. It mirrors scheduleChannel's
-// candidate eligibility (writes count only while draining or when no
-// reads wait) but deliberately ignores arbitration: a lower-priority
-// candidate becoming ready wakes the controller even if it then loses
-// — a conservative, and therefore exact, horizon.
-func (c *Controller) channelHorizon(ch int, now int64) int64 {
-	channel := c.channels[ch]
-	next := dram.Horizon
-	for _, r := range c.reads[ch] {
-		cmd := channel.NextCommand(r.Loc.Bank, r.Loc.Row, false)
-		next = min(next, channel.NextReady(cmd, now))
+// refreshMemo revalidates r's scheduling memo against the bank's state
+// epoch: on a match the cached NextCommand/CommandReadyAt answer is
+// exact and nothing is recomputed; on a mismatch (a command issued to
+// the bank, a shared-constraint change, or a refresh since the memo was
+// taken) both are rederived once and re-stamped. epoch must be
+// channel.BankEpoch(r.Loc.Bank), hoisted by the caller since it is
+// loop-invariant across one bank's queue on one edge.
+func refreshMemo(channel *dram.Channel, r *Request, epoch uint64) {
+	if r.cacheEpoch != epoch {
+		r.cacheCmd = channel.NextCommand(r.Loc.Bank, r.Loc.Row, r.IsWrite)
+		r.cacheReadyAt = channel.CommandReadyAt(r.cacheCmd)
+		r.cacheEpoch = epoch
 	}
-	if c.draining[ch] || len(c.reads[ch]) == 0 {
-		for _, r := range c.writes[ch] {
-			cmd := channel.NextCommand(r.Loc.Bank, r.Loc.Row, true)
-			next = min(next, channel.NextReady(cmd, now))
-		}
-	}
-	if next >= dram.Horizon {
-		return dram.Horizon
-	}
-	return c.edgeCeil(next)
 }
 
+// completeFinished retires every in-flight request whose completion
+// time has arrived, firing OnComplete callbacks in deterministic
+// (CompleteAt, then arrival ID) order. The in-flight buffer's internal
+// order is scrambled by past removals, so sorting the due set is what
+// keeps same-cycle completions — and everything downstream of their
+// callbacks (MSHR frees, dependent wakeups, the IDs of requests
+// enqueued from inside a callback) — independent of buffer layout.
 func (c *Controller) completeFinished(now int64) {
-	for i := 0; i < len(c.inFlight); {
-		r := c.inFlight[i]
+	due := c.due[:0]
+	kept := 0
+	for _, r := range c.inFlight {
 		if r.CompleteAt > now {
-			i++
+			c.inFlight[kept] = r
+			kept++
 			continue
 		}
-		// Swap-remove.
-		c.inFlight[i] = c.inFlight[len(c.inFlight)-1]
-		c.inFlight = c.inFlight[:len(c.inFlight)-1]
+		due = append(due, r)
+	}
+	if len(due) == 0 {
+		return
+	}
+	for i := kept; i < len(c.inFlight); i++ {
+		c.inFlight[i] = nil
+	}
+	c.inFlight = c.inFlight[:kept]
+	c.due = due[:0] // keep the backing array; due stays valid below
+	// Insertion sort by (CompleteAt, ID): the due set is tiny (bounded
+	// by commands retiring on one edge) and this keeps the path
+	// allocation-free, unlike sort.Slice.
+	for i := 1; i < len(due); i++ {
+		r := due[i]
+		j := i - 1
+		for j >= 0 && (due[j].CompleteAt > r.CompleteAt ||
+			(due[j].CompleteAt == r.CompleteAt && due[j].ID > r.ID)) {
+			due[j+1] = due[j]
+			j--
+		}
+		due[j+1] = r
+	}
+	for _, r := range due {
 		if !r.IsWrite {
 			c.bankServiceDec(r)
 			st := &c.threadStats[r.Thread]
@@ -424,19 +592,15 @@ func (c *Controller) completeFinished(now int64) {
 // not fall through to a lower-priority request just because the
 // winner's command must wait a few cycles), and the across-bank channel
 // scheduler then picks the highest-priority ready command among the
-// per-bank winners. It reports whether a command was issued.
-func (c *Controller) scheduleChannel(ch int, now int64) bool {
-	cands := c.scratch[:0]
-	channel := c.channels[ch]
-
-	for _, r := range c.reads[ch] {
-		cmd := channel.NextCommand(r.Loc.Bank, r.Loc.Row, false)
-		cands = append(cands, Candidate{
-			Req: r, Cmd: cmd, Outcome: outcomeFor(cmd.Kind), Channel: ch,
-			First: !r.Started, Ready: channel.CanIssue(cmd, now),
-		})
-	}
-
+// per-bank winners. It reports whether a command was issued and — when
+// none was — the channel's event horizon: the earliest DRAM edge at
+// which any candidate's command could become ready, computed in the
+// same pass so the former separate channelHorizon rescan is gone.
+//
+// The horizon deliberately ignores arbitration (a lower-priority
+// candidate becoming ready wakes the controller even if it then
+// loses): conservative, and therefore exact.
+func (c *Controller) scheduleChannel(ch int, now int64) (issued bool, horizon int64) {
 	// Write-drain policy: writes become eligible (and preferred) when
 	// the buffer passes the high watermark, with hysteresis down to
 	// the low watermark; they are also eligible opportunistically when
@@ -447,43 +611,268 @@ func (c *Controller) scheduleChannel(ch int, now int64) bool {
 		c.draining[ch] = false
 	}
 	draining := c.draining[ch]
-	if c.draining[ch] || len(c.reads[ch]) == 0 {
-		for _, r := range c.writes[ch] {
-			cmd := channel.NextCommand(r.Loc.Bank, r.Loc.Row, true)
-			cands = append(cands, Candidate{
-				Req: r, Cmd: cmd, Outcome: outcomeFor(cmd.Kind), Channel: ch,
-				First: !r.Started, Ready: channel.CanIssue(cmd, now),
-			})
+	useWrites := (draining || c.chReads[ch] == 0) && c.chWrites[ch] > 0
+	if c.chReads[ch] == 0 && !useWrites {
+		return false, dram.Horizon
+	}
+	if c.batch != nil {
+		return c.scheduleChannelBatch(ch, now, draining, useWrites)
+	}
+
+	channel := c.channels[ch]
+	base := ch * c.banksPer
+	minReady := int64(dram.Horizon)
+	chal := &c.challenger
+	memoize := c.ordering != nil
+	var orderEp uint64
+	if memoize {
+		orderEp = c.ordering.OrderEpoch()
+	}
+
+	// Level 1: per-bank request arbitration over the bank's own queue.
+	// A bank whose open row was activated for a request that has not
+	// yet used it stays with that request (the reservation lock) —
+	// but only while that request is among the eligible candidates;
+	// a reserved write outside a drain episode does not lock the bank.
+	// Under an OrderingPolicy each bank's tournament outcome is memoized
+	// and replayed while the bank's queue, its state, and the policy's
+	// ordering are all unchanged (the reservation lock is covered too:
+	// reserved[ch][b] changes only when a command issues to the bank,
+	// which bumps its epoch).
+	bankBest := c.bankBest
+	for b := 0; b < c.banksPer; b++ {
+		bankBest[b] = nil
+		q := &c.queues[base+b]
+		if len(q.reads) == 0 && (!useWrites || len(q.writes) == 0) {
+			continue
+		}
+		epoch := channel.BankEpoch(b)
+		slot := &c.bankCand[b]
+		if memoize {
+			m := &c.memo[base+b]
+			bankEp := channel.Bank(b).Epoch()
+			if m.qver == q.ver && m.bankEp == bankEp && m.orderEp == orderEp &&
+				m.draining == draining && m.useWrites == useWrites {
+				// Memo hit: rebuild only the winner's candidate from its
+				// (revalidated) timing memo.
+				r := m.winner
+				refreshMemo(channel, r, epoch)
+				*slot = Candidate{
+					Req: r, Cmd: r.cacheCmd, Outcome: outcomeFor(r.cacheCmd.Kind), Channel: ch,
+					First: !r.Started, Ready: now >= r.cacheReadyAt,
+				}
+				bankBest[b] = slot
+				if !slot.Ready && m.minReady <= now {
+					// The stored lower bound has fallen due while the
+					// winner is still blocked: re-tighten it with a
+					// readiness-only rescan (no Less tournament) so a
+					// no-issue edge does not degrade to dense polling.
+					m.minReady = c.bankMinReady(q, channel, epoch, useWrites)
+				}
+				if m.minReady < minReady {
+					minReady = m.minReady
+				}
+				continue
+			}
+			// Memo miss: run the full tournament below, then store.
+			bankMin := c.scanBank(ch, b, q, channel, epoch, now, draining, useWrites, chal, slot)
+			if bankMin < minReady {
+				minReady = bankMin
+			}
+			*m = bankMemo{
+				winner: slot.Req, qver: q.ver, bankEp: bankEp, orderEp: orderEp,
+				minReady: bankMin, draining: draining, useWrites: useWrites,
+			}
+			bankBest[b] = slot
+			continue
+		}
+		bankMin := c.scanBank(ch, b, q, channel, epoch, now, draining, useWrites, chal, slot)
+		if bankMin < minReady {
+			minReady = bankMin
+		}
+		bankBest[b] = slot
+	}
+
+	// Level 2: across-bank selection among ready winners.
+	var best *Candidate
+	for _, cand := range bankBest {
+		if cand == nil || !cand.Ready {
+			continue
+		}
+		if best == nil || c.better(cand, best, draining) {
+			best = cand
+		}
+	}
+	if best == nil {
+		if minReady >= dram.Horizon {
+			return false, dram.Horizon
+		}
+		return false, c.edgeCeil(max(now, minReady))
+	}
+
+	// A command issues: materialize the channel's full waiting set for
+	// the policy's OnSchedule accounting (and the inversion tracer).
+	// Each request's timing memo is revalidated first — on a memo-hit
+	// edge only the bank winners were refreshed during arbitration — so
+	// the copied-out candidates are exact. On the far more frequent
+	// no-issue edges this pass is skipped entirely.
+	cands := c.scratch[:0]
+	for b := 0; b < c.banksPer; b++ {
+		q := &c.queues[base+b]
+		epoch := channel.BankEpoch(b)
+		for pass := 0; pass < 2; pass++ {
+			list := q.reads
+			if pass == 1 {
+				if !useWrites {
+					break
+				}
+				list = q.writes
+			}
+			for _, r := range list {
+				refreshMemo(channel, r, epoch)
+				cands = append(cands, Candidate{
+					Req: r, Cmd: r.cacheCmd, Outcome: outcomeFor(r.cacheCmd.Kind), Channel: ch,
+					First: !r.Started, Ready: now >= r.cacheReadyAt,
+				})
+			}
+		}
+	}
+	c.scratch = cands[:0]
+	if c.trace != nil {
+		c.traceInversion(now, ch, best, bankBest)
+	}
+	c.issue(ch, now, best, cands)
+	return true, 0
+}
+
+// scanBank runs one bank's level-1 tournament: it refreshes every
+// eligible request's timing memo, tracks the bank's minimum
+// CommandReadyAt (returned, for the no-issue horizon and the winner
+// memo), and writes the winning candidate into slot. The caller
+// guarantees at least one eligible request, so slot always holds a
+// winner on return.
+func (c *Controller) scanBank(ch, b int, q *bankQueue, channel *dram.Channel, epoch uint64, now int64, draining, useWrites bool, chal, slot *Candidate) int64 {
+	minReady := int64(dram.Horizon)
+	res := c.reserved[ch][b]
+	have, locked := false, false
+	for pass := 0; pass < 2; pass++ {
+		list := q.reads
+		if pass == 1 {
+			if !useWrites {
+				break
+			}
+			list = q.writes
+		}
+		for _, r := range list {
+			refreshMemo(channel, r, epoch)
+			if r.cacheReadyAt < minReady {
+				minReady = r.cacheReadyAt
+			}
+			if locked {
+				continue
+			}
+			if r == res {
+				*slot = Candidate{
+					Req: r, Cmd: r.cacheCmd, Outcome: outcomeFor(r.cacheCmd.Kind), Channel: ch,
+					First: !r.Started, Ready: now >= r.cacheReadyAt,
+				}
+				have, locked = true, true
+				continue
+			}
+			*chal = Candidate{
+				Req: r, Cmd: r.cacheCmd, Outcome: outcomeFor(r.cacheCmd.Kind), Channel: ch,
+				First: !r.Started, Ready: now >= r.cacheReadyAt,
+			}
+			if !have || c.better(chal, slot, draining) {
+				*slot = *chal
+				have = true
+			}
+		}
+	}
+	return minReady
+}
+
+// bankMinReady recomputes the bank's minimum CommandReadyAt over its
+// eligible requests — the readiness half of scanBank without the Less
+// tournament, used to re-tighten a memoized bank's horizon bound.
+func (c *Controller) bankMinReady(q *bankQueue, channel *dram.Channel, epoch uint64, useWrites bool) int64 {
+	minReady := int64(dram.Horizon)
+	for pass := 0; pass < 2; pass++ {
+		list := q.reads
+		if pass == 1 {
+			if !useWrites {
+				break
+			}
+			list = q.writes
+		}
+		for _, r := range list {
+			refreshMemo(channel, r, epoch)
+			if r.cacheReadyAt < minReady {
+				minReady = r.cacheReadyAt
+			}
+		}
+	}
+	return minReady
+}
+
+// scheduleChannelBatch is the BatchPolicy (PAR-BS) variant: the policy
+// needs the channel's full waiting set before arbitration (batch
+// formation), so the candidate slice is materialized up front every
+// edge and arbitration runs over it, with the horizon folded into the
+// same pass exactly like the fast path.
+func (c *Controller) scheduleChannelBatch(ch int, now int64, draining, useWrites bool) (issued bool, horizon int64) {
+	channel := c.channels[ch]
+	base := ch * c.banksPer
+	minReady := int64(dram.Horizon)
+	cands := c.scratch[:0]
+	for b := 0; b < c.banksPer; b++ {
+		q := &c.queues[base+b]
+		if len(q.reads) == 0 && (!useWrites || len(q.writes) == 0) {
+			continue
+		}
+		epoch := channel.BankEpoch(b)
+		for pass := 0; pass < 2; pass++ {
+			list := q.reads
+			if pass == 1 {
+				if !useWrites {
+					break
+				}
+				list = q.writes
+			}
+			for _, r := range list {
+				refreshMemo(channel, r, epoch)
+				if r.cacheReadyAt < minReady {
+					minReady = r.cacheReadyAt
+				}
+				cands = append(cands, Candidate{
+					Req: r, Cmd: r.cacheCmd, Outcome: outcomeFor(r.cacheCmd.Kind), Channel: ch,
+					First: !r.Started, Ready: now >= r.cacheReadyAt,
+				})
+			}
 		}
 	}
 	c.scratch = cands[:0]
 	if len(cands) == 0 {
-		return false
+		return false, dram.Horizon
 	}
-	if bp, ok := c.policy.(BatchPolicy); ok {
-		bp.PrepareCycle(ch, now, cands)
-	}
+	c.batch.PrepareCycle(ch, now, cands)
 
-	// Level 1: per-bank request arbitration. A bank whose open row
-	// was activated for a request that has not yet used it stays with
-	// that request.
-	if cap(c.bankBest) < channel.NumBanks() {
-		c.bankBest = make([]*Candidate, channel.NumBanks())
-	}
-	bankBest := c.bankBest[:channel.NumBanks()]
-	for i := range bankBest {
-		bankBest[i] = nil
+	// Level 1: per-bank winner over the materialized set, honoring the
+	// reservation lock exactly like the fast path.
+	bankBest := c.bankBest
+	for b := range bankBest {
+		bankBest[b] = nil
 	}
 	var lockedBanks uint64
 	for i := range cands {
 		cand := &cands[i]
 		b := cand.Cmd.Bank
+		if lockedBanks&(1<<uint(b)) != 0 {
+			continue
+		}
 		if c.reserved[ch][b] == cand.Req {
 			bankBest[b] = cand
 			lockedBanks |= 1 << uint(b)
-			continue
-		}
-		if lockedBanks&(1<<uint(b)) != 0 {
 			continue
 		}
 		if bankBest[b] == nil || c.better(cand, bankBest[b], draining) {
@@ -502,13 +891,16 @@ func (c *Controller) scheduleChannel(ch int, now int64) bool {
 		}
 	}
 	if best == nil {
-		return false
+		if minReady >= dram.Horizon {
+			return false, dram.Horizon
+		}
+		return false, c.edgeCeil(max(now, minReady))
 	}
 	if c.trace != nil {
 		c.traceInversion(now, ch, best, bankBest)
 	}
 	c.issue(ch, now, best, cands)
-	return true
+	return true, 0
 }
 
 // better implements the read-over-write rule of Table 2 ("reads
@@ -534,7 +926,7 @@ func (c *Controller) issue(ch int, now int64, chosen *Candidate, cands []Candida
 		r.FirstScheduledOutcome = chosen.Outcome
 		channel.RecordOutcome(chosen.Outcome)
 		if c.bankHits != nil {
-			idx := ch*c.cfg.Geometry.BanksPerChannel + chosen.Cmd.Bank
+			idx := ch*c.banksPer + chosen.Cmd.Bank
 			switch chosen.Outcome {
 			case dram.RowHit:
 				c.bankHits[idx]++
@@ -570,7 +962,7 @@ func (c *Controller) issue(ch int, now int64, chosen *Candidate, cands []Candida
 		if !r.IsWrite {
 			r.CompleteAt += c.cfg.Timing.RoundTripOverhead
 		}
-		c.removeQueued(ch, r)
+		c.removeQueued(r)
 		c.inFlight = append(c.inFlight, r)
 	}
 	if c.CommandTrace != nil {
@@ -640,25 +1032,43 @@ func (c *Controller) traceInversion(now int64, ch int, chosen *Candidate, bankBe
 	}
 }
 
-func (c *Controller) removeQueued(ch int, r *Request) {
-	q := c.reads[ch]
+// removeQueued unlinks r from its bank queue (and every incremental
+// index over it) when its column access issues.
+func (c *Controller) removeQueued(r *Request) {
+	idx := r.Loc.Channel*c.banksPer + r.Loc.Bank
+	q := &c.queues[idx]
+	list := q.reads
 	if r.IsWrite {
-		q = c.writes[ch]
+		list = q.writes
 	}
-	for i, qr := range q {
+	for i, qr := range list {
 		if qr == r {
-			q[i] = q[len(q)-1]
-			q = q[:len(q)-1]
+			last := len(list) - 1
+			list[i] = list[last]
+			list[last] = nil
+			list = list[:last]
+			q.ver++
 			break
 		}
 	}
 	if r.IsWrite {
-		c.writes[ch] = q
+		q.writes = list
+		c.chWrites[r.Loc.Channel]--
 		c.queuedWrites--
+		// See EnqueueWrite: occupancy changes touch every channel's
+		// drain hysteresis.
+		for i := range c.chHorizon {
+			c.chHorizon[i] = 0
+		}
 	} else {
-		c.reads[ch] = q
+		q.reads = list
+		c.chReads[r.Loc.Channel]--
 		c.queuedReads--
 		c.queuedPerThr[r.Thread]--
+		c.queuedBank[r.Thread][idx]--
+		if c.queuedBank[r.Thread][idx] == 0 {
+			c.queuedBanks[r.Thread]--
+		}
 	}
 }
 
@@ -686,7 +1096,7 @@ func (c *Controller) HasQueued(thread int) bool { return c.queuedPerThr[thread] 
 func (c *Controller) InService(thread int) int { return c.inServiceBanks[thread] }
 
 func (c *Controller) bankServiceInc(r *Request) {
-	idx := r.Loc.Channel*c.cfg.Geometry.BanksPerChannel + r.Loc.Bank
+	idx := r.Loc.Channel*c.banksPer + r.Loc.Bank
 	if c.inServiceBank[r.Thread][idx] == 0 {
 		c.inServiceBanks[r.Thread]++
 	}
@@ -694,7 +1104,7 @@ func (c *Controller) bankServiceInc(r *Request) {
 }
 
 func (c *Controller) bankServiceDec(r *Request) {
-	idx := r.Loc.Channel*c.cfg.Geometry.BanksPerChannel + r.Loc.Bank
+	idx := r.Loc.Channel*c.banksPer + r.Loc.Bank
 	c.inServiceBank[r.Thread][idx]--
 	if c.inServiceBank[r.Thread][idx] == 0 {
 		c.inServiceBanks[r.Thread]--
@@ -705,24 +1115,11 @@ func (c *Controller) bankServiceDec(r *Request) {
 func (c *Controller) QueuedRequests(thread int) int { return c.queuedPerThr[thread] }
 
 // QueuedBanks implements View: the number of distinct banks for which
-// the thread has a waiting read request.
-func (c *Controller) QueuedBanks(thread int) int {
-	// A 64-bit mask per channel suffices for <=64 banks per channel.
-	count := 0
-	for ch := range c.reads {
-		var mask uint64
-		for _, r := range c.reads[ch] {
-			if r.Thread == thread {
-				mask |= 1 << uint(r.Loc.Bank)
-			}
-		}
-		for mask != 0 {
-			mask &= mask - 1
-			count++
-		}
-	}
-	return count
-}
+// the thread has a waiting read request. Maintained incrementally by
+// the enqueue/issue paths, so the query is O(1) — it used to scan every
+// queued read, and STFM calls it for every interference victim on
+// every scheduled command.
+func (c *Controller) QueuedBanks(thread int) int { return c.queuedBanks[thread] }
 
 // Drain runs the controller forward (from CPU cycle start) until all
 // buffered requests complete, returning the cycle after the last

@@ -1,0 +1,71 @@
+package memctrl
+
+import (
+	"testing"
+
+	"stfm/internal/dram"
+)
+
+// TestEdgePathZeroAllocs pins the tentpole property the controller's
+// preallocated containers exist for: once the buffers are loaded, the
+// per-edge path — completion retirement, per-bank tournament (memoized
+// and full scans), issue, horizon computation — performs zero heap
+// allocations per tick. Allocation belongs to enqueue (one Request per
+// accepted access) and nowhere else; a regression here silently
+// reintroduces GC pressure proportional to simulated cycles.
+func TestEdgePathZeroAllocs(t *testing.T) {
+	c := newEdgeController(t, 8, 2)
+	fillQueues(c, 0, 8)
+	// Warm one edge so any lazily-sized scratch reaches steady state.
+	c.Tick(0)
+	now := c.NextTickAt()
+	allocs := testing.AllocsPerRun(100, func() {
+		if now < dram.Horizon {
+			c.Tick(now)
+			now = c.NextTickAt()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("edge path allocates %.1f times per tick, want 0", allocs)
+	}
+}
+
+// TestCompleteFinishedDeterministicOrder is the regression test for the
+// completion-order fix: the in-flight buffer's internal order is
+// scrambled by swap-removal, so same-cycle completions must fire their
+// OnComplete callbacks sorted by (CompleteAt, then arrival ID) — never
+// by buffer position. Anything downstream of the callbacks (MSHR frees,
+// the IDs assigned to requests enqueued from inside a callback) depends
+// on this order being a function of the schedule, not of slice layout.
+func TestCompleteFinishedDeterministicOrder(t *testing.T) {
+	c := newEdgeController(t, 4, 1)
+	var fired []uint64
+	mk := func(id uint64, at int64) *Request {
+		return &Request{
+			ID:         id,
+			Thread:     int(id) % 4,
+			IsWrite:    true, // writes skip read-side stats bookkeeping
+			CompleteAt: at,
+			OnComplete: func(int64) { fired = append(fired, id) },
+		}
+	}
+	// Buffer layout deliberately scrambled: neither CompleteAt- nor
+	// ID-sorted, with two same-cycle clusters (cycle 5 and cycle 7) and
+	// one not-yet-due request that must survive untouched.
+	c.inFlight = append(c.inFlight[:0],
+		mk(9, 7), mk(2, 5), mk(30, 900), mk(7, 5), mk(1, 7), mk(4, 3),
+	)
+	c.completeFinished(10)
+	want := []uint64{4, 2, 7, 1, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d callbacks (%v), want %d (%v)", len(fired), fired, len(want), want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("completion order = %v, want %v (CompleteAt, then ID)", fired, want)
+		}
+	}
+	if len(c.inFlight) != 1 || c.inFlight[0].ID != 30 {
+		t.Fatalf("in-flight after retirement = %v, want only request 30", c.inFlight)
+	}
+}

@@ -1,6 +1,9 @@
 package memctrl
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // latencyBuckets is the number of power-of-two histogram buckets;
 // bucket i holds latencies in [2^i, 2^(i+1)) CPU cycles, which spans
@@ -17,14 +20,20 @@ type LatencyHistogram struct {
 	max     int64
 }
 
-// Record adds one latency sample.
+// Record adds one latency sample. It runs on the controller's
+// completion path for every serviced read, so the bucket index comes
+// from the hardware leading-zero count rather than the former shift
+// loop: floor(log2(latency)), with 0 and 1 sharing bucket 0 and
+// everything past the range clamped into the open-ended last bucket.
 func (h *LatencyHistogram) Record(latency int64) {
 	if latency < 0 {
 		latency = 0
 	}
-	b := 0
-	for v := latency; v > 1 && b < latencyBuckets-1; v >>= 1 {
-		b++
+	b := bits.Len64(uint64(latency)) - 1
+	if b < 0 {
+		b = 0
+	} else if b > latencyBuckets-1 {
+		b = latencyBuckets - 1
 	}
 	h.buckets[b]++
 	h.count++

@@ -151,3 +151,39 @@ func TestHistogramMerge(t *testing.T) {
 		t.Error("merge into empty must equal the source")
 	}
 }
+
+// TestRecordBucketMatchesShiftLoop pins the bits.Len64 bucket
+// computation against the original shift-loop definition across bucket
+// boundaries and the clamped extremes.
+func TestRecordBucketMatchesShiftLoop(t *testing.T) {
+	refBucket := func(latency int64) int {
+		if latency < 0 {
+			latency = 0
+		}
+		b := 0
+		for v := latency; v > 1 && b < latencyBuckets-1; v >>= 1 {
+			b++
+		}
+		return b
+	}
+	cases := []int64{-7, 0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1025}
+	for b := 0; b < latencyBuckets+2; b++ {
+		edge := int64(1) << uint(b)
+		cases = append(cases, edge-1, edge, edge+1)
+	}
+	cases = append(cases, math.MaxInt64)
+	for _, latency := range cases {
+		var h LatencyHistogram
+		h.Record(latency)
+		want := refBucket(latency)
+		if h.buckets[want] != 1 {
+			got := -1
+			for i, n := range h.buckets {
+				if n == 1 {
+					got = i
+				}
+			}
+			t.Errorf("Record(%d) landed in bucket %d, want %d", latency, got, want)
+		}
+	}
+}

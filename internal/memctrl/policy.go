@@ -69,6 +69,26 @@ type BatchPolicy interface {
 	PrepareCycle(channel int, now int64, waiting []Candidate)
 }
 
+// OrderingPolicy is an optional extension interface that licenses the
+// controller's per-bank winner memoization. OrderEpoch returns a
+// counter that the policy bumps whenever internal state consulted by
+// Less changes — i.e. whenever Less(a, b) could return a different
+// answer than it did on an earlier cycle for the same two candidates.
+// While the epoch (together with the bank's state epoch and the bank
+// queue's membership version) is unchanged, the controller reuses the
+// previously selected per-bank winner instead of re-running the Less
+// tournament over the bank's queue.
+//
+// The contract covers only policy-internal state: candidate-derived
+// inputs (command kind, row-buffer outcome, arrival ID) are tracked by
+// the controller's own epochs. Policies whose ordering depends on the
+// current cycle itself (NFQ's inversion-expiry timeout) must not
+// implement the interface — there is no sound epoch for wall-clock
+// time. Stateless orders (FR-FCFS, FCFS) return a constant.
+type OrderingPolicy interface {
+	OrderEpoch() uint64
+}
+
 // EventPolicy is an optional extension interface for policies whose
 // BeginCycle does time-driven work of its own — per-cycle fairness
 // accounting (STFM), quantum-boundary reclustering (TCM) — rather than

@@ -14,6 +14,9 @@ const DefaultCap = 4
 type FRFCFSCap struct {
 	cap    int
 	counts [][]int // [channel][bank] column accesses serviced past an older row access
+	// epoch counts changes to counts — the only policy state Less reads
+	// — licensing the controller's per-bank winner memo (OrderingPolicy).
+	epoch uint64
 }
 
 // NewFRFCFSCap creates the policy for a controller with the given
@@ -59,16 +62,27 @@ func (p *FRFCFSCap) capped(c *memctrl.Candidate) bool {
 func (p *FRFCFSCap) OnSchedule(_ int64, chosen *memctrl.Candidate, ready []memctrl.Candidate) {
 	bank := chosen.Cmd.Bank
 	if !chosen.IsColumn() {
-		p.counts[chosen.Channel][bank] = 0
+		if p.counts[chosen.Channel][bank] != 0 {
+			p.counts[chosen.Channel][bank] = 0
+			p.epoch++
+		}
 		return
 	}
 	for i := range ready {
 		r := &ready[i]
 		if r.Channel == chosen.Channel && r.Cmd.Bank == bank && !r.IsColumn() && r.Req.Older(chosen.Req) {
 			p.counts[chosen.Channel][bank]++
+			p.epoch++
 			return
 		}
 	}
 }
 
-var _ memctrl.Policy = (*FRFCFSCap)(nil)
+// OrderEpoch implements memctrl.OrderingPolicy: bumped whenever a bank's
+// reorder budget changes, the only mutable input to Less.
+func (p *FRFCFSCap) OrderEpoch() uint64 { return p.epoch }
+
+var (
+	_ memctrl.Policy         = (*FRFCFSCap)(nil)
+	_ memctrl.OrderingPolicy = (*FRFCFSCap)(nil)
+)

@@ -25,4 +25,11 @@ func (*FCFS) Less(a, b *memctrl.Candidate) bool { return a.Req.Older(b.Req) }
 // OnSchedule implements memctrl.Policy.
 func (*FCFS) OnSchedule(int64, *memctrl.Candidate, []memctrl.Candidate) {}
 
-var _ memctrl.Policy = (*FCFS)(nil)
+// OrderEpoch implements memctrl.OrderingPolicy: the comparator is
+// stateless, so the ordering never changes.
+func (*FCFS) OrderEpoch() uint64 { return 0 }
+
+var (
+	_ memctrl.Policy         = (*FCFS)(nil)
+	_ memctrl.OrderingPolicy = (*FCFS)(nil)
+)

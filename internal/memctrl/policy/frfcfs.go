@@ -37,4 +37,11 @@ func (*FRFCFS) Less(a, b *memctrl.Candidate) bool {
 // OnSchedule implements memctrl.Policy.
 func (*FRFCFS) OnSchedule(int64, *memctrl.Candidate, []memctrl.Candidate) {}
 
-var _ memctrl.Policy = (*FRFCFS)(nil)
+// OrderEpoch implements memctrl.OrderingPolicy: the comparator is
+// stateless, so the ordering never changes.
+func (*FRFCFS) OrderEpoch() uint64 { return 0 }
+
+var (
+	_ memctrl.Policy         = (*FRFCFS)(nil)
+	_ memctrl.OrderingPolicy = (*FRFCFS)(nil)
+)

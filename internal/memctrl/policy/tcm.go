@@ -43,6 +43,9 @@ type TCM struct {
 	nextCluster   int64
 	nextShuffle   int64
 	shuffleOffset int
+	// orderEpoch counts rank reassignments — the only mutable state
+	// Less reads — licensing the controller's per-bank winner memo.
+	orderEpoch uint64
 }
 
 // NewTCM builds the scheduler for the given thread count.
@@ -125,6 +128,7 @@ func (t *TCM) recluster() {
 // assignRanks orders latency-cluster threads first (ascending measured
 // intensity), then bandwidth-cluster threads in rotated order.
 func (t *TCM) assignRanks() {
+	t.orderEpoch++
 	var latency, bandwidth []int
 	for i := 0; i < t.threads; i++ {
 		if t.latencyClass[i] {
@@ -169,7 +173,12 @@ func (t *TCM) OnSchedule(_ int64, chosen *memctrl.Candidate, _ []memctrl.Candida
 	}
 }
 
+// OrderEpoch implements memctrl.OrderingPolicy: ranks change only in
+// assignRanks (reclustering and shuffling), which bumps the epoch.
+func (t *TCM) OrderEpoch() uint64 { return t.orderEpoch }
+
 var (
-	_ memctrl.Policy      = (*TCM)(nil)
-	_ memctrl.EventPolicy = (*TCM)(nil)
+	_ memctrl.Policy         = (*TCM)(nil)
+	_ memctrl.EventPolicy    = (*TCM)(nil)
+	_ memctrl.OrderingPolicy = (*TCM)(nil)
 )

@@ -44,6 +44,18 @@ type Request struct {
 	// CompleteAt is the absolute cycle the request finishes (valid
 	// once CASIssued).
 	CompleteAt int64
+
+	// Scheduling memo, owned by the controller's indexed scheduler: the
+	// next DRAM command the request needs and the absolute cycle that
+	// command satisfies all timing constraints, both valid while the
+	// target bank's dram.Channel.BankEpoch still equals cacheEpoch.
+	// cacheEpoch == 0 means "never computed" (BankEpoch is never zero).
+	// The memo turns the per-edge NextCommand/NextReady recomputation
+	// into a single epoch comparison on the — overwhelmingly common —
+	// edges where the bank's state did not change.
+	cacheEpoch   uint64
+	cacheCmd     dram.Command
+	cacheReadyAt int64
 }
 
 // Age returns how long the request has been in the buffer at cycle now.

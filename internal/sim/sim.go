@@ -336,6 +336,10 @@ func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
 			s.sampleEvery = cfg.Telemetry.SampleEvery * mcfg.Timing.CPUCyclesPerDRAMCycle
 			cfg.Telemetry.Series.EveryCPUCycles = s.sampleEvery
 			s.nextSampleAt = s.sampleEvery
+			// The run's cycle budget bounds the sample count, so the
+			// series backing array can be sized once here and the
+			// sampling path never reallocates mid-run.
+			cfg.Telemetry.Series.Reserve(int(cfg.CycleBudget(profiles)/s.sampleEvery) + 1)
 		}
 	}
 	s.frozen = make([]bool, n)
@@ -417,8 +421,15 @@ func (s *System) buildPolicy(mcfg memctrl.Config) (memctrl.Policy, error) {
 }
 
 // tshared is the per-thread cumulative stall counter the cores
-// communicate to STFM (Section 5.1).
-func (s *System) tshared(thread int) int64 { return s.cores[thread].MemStallCycles() }
+// communicate to STFM (Section 5.1). The flush settles any lazily
+// skipped idle cycles before the read, so the policy sees exactly the
+// value a dense-ticked run would (cycles strictly before the current
+// one — the controller runs before the cores each cycle).
+func (s *System) tshared(thread int) int64 {
+	c := s.cores[thread]
+	c.FlushIdle(s.now)
+	return c.MemStallCycles()
+}
 
 // Controller exposes the memory controller for inspection.
 func (s *System) Controller() *memctrl.Controller { return s.ctrl }
@@ -471,8 +482,18 @@ func (s *System) step() int64 {
 	}
 	next := int64(horizon)
 	for i, c := range s.cores {
-		if n := c.Tick(now); n < next {
-			next = n
+		// A core whose next required tick is still in the future is
+		// provably inert this cycle: skip it entirely — the stall
+		// bookkeeping its Tick would have performed is applied lazily
+		// (cpu.Core.FlushIdle) when the core next runs or its counters
+		// are read. NextAt is re-read here, after the controller and
+		// hierarchy acted, because their completion callbacks pull it
+		// to the current cycle. Dense runs tick unconditionally — they
+		// are the oracle the gating is checked against.
+		if s.cfg.DenseTick || c.NextAt() <= now {
+			if n := c.Tick(now); n < next {
+				next = n
+			}
 		}
 		if !s.frozen[i] && (c.Committed() >= s.targets[i] || c.Done()) {
 			// Reaching the instruction target — or draining a finite
@@ -512,6 +533,7 @@ func (s *System) takeSample(now int64) {
 		Committed:    make([]int64, len(s.cores)),
 	}
 	for i, c := range s.cores {
+		c.FlushIdle(now)
 		smp.StallCycles[i] = c.MemStallCycles()
 		smp.Committed[i] = c.Committed()
 	}
@@ -649,27 +671,18 @@ func (s *System) RunContext(ctx context.Context) (res *Result, err error) {
 			next = nextWatchdogAt
 		}
 		// Sampling boundaries inside the quiescent window still get
-		// their snapshots: advance the cores' bulk accounting to each
-		// boundary and sample there, exactly as a dense-ticked run
-		// would observe it. The components themselves stay untouched —
-		// a quiescent window costs the sampler a few appends, never a
-		// component tick. (A boundary equal to next is taken by the
-		// following step's start-of-cycle check.)
+		// their snapshots: jump to each boundary and sample there,
+		// exactly as a dense-ticked run would observe it — takeSample
+		// flushes the cores' lazy idle accounting up to the boundary.
+		// The components themselves stay untouched: a quiescent window
+		// costs the sampler a few appends, never a component tick. (A
+		// boundary equal to next is taken by the following step's
+		// start-of-cycle check.)
 		for s.nextSampleAt < next {
-			if d := s.nextSampleAt - s.now; d > 0 {
-				for _, c := range s.cores {
-					c.AdvanceIdle(d)
-				}
-				s.now = s.nextSampleAt
-			}
+			s.now = s.nextSampleAt
 			s.takeSample(s.now)
 		}
-		if k := next - s.now; k > 0 {
-			for _, c := range s.cores {
-				c.AdvanceIdle(k)
-			}
-			s.now = next
-		}
+		s.now = next
 	}
 	res = s.finish()
 	if s.cfg.CheckInvariants {
@@ -688,6 +701,12 @@ func (s *System) RunContext(ctx context.Context) (res *Result, err error) {
 // path for completed, truncated, and aborted runs alike, so partial
 // results carry the same metrics as complete ones.
 func (s *System) finish() *Result {
+	// Settle every core's lazy idle accounting through the final cycle:
+	// freezes below and post-run counter reads (diagnostics, MCPI-based
+	// estimators) must see fully accounted stall counters.
+	for _, c := range s.cores {
+		c.FlushIdle(s.now)
+	}
 	for i := range s.cores {
 		if !s.frozen[i] {
 			s.freeze(i, s.now, true)

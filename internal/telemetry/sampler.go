@@ -73,6 +73,24 @@ func (ts *TimeSeries) Append(s Sample) {
 	ts.mu.Unlock()
 }
 
+// Reserve pre-sizes the backing array for a run expected to append up
+// to n more samples, so the sampling path never reallocates under the
+// lock mid-run. The simulation calls it once at attach time with the
+// sample count implied by the cycle budget and stride; appending past
+// the reservation still works, it just grows again.
+func (ts *TimeSeries) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	ts.mu.Lock()
+	if cap(ts.samples)-len(ts.samples) < n {
+		grown := make([]Sample, len(ts.samples), len(ts.samples)+n)
+		copy(grown, ts.samples)
+		ts.samples = grown
+	}
+	ts.mu.Unlock()
+}
+
 // Len returns the number of samples collected.
 func (ts *TimeSeries) Len() int {
 	ts.mu.Lock()

@@ -218,3 +218,42 @@ func TestCollectorNew(t *testing.T) {
 		t.Error("TraceCap alone must allocate only the tracer")
 	}
 }
+
+func TestReserveSemantics(t *testing.T) {
+	var ts TimeSeries
+	ts.Reserve(0)
+	ts.Reserve(-3) // no-ops, must not panic or allocate capacity
+	ts.Append(Sample{Cycle: 1})
+	ts.Reserve(8)
+	if got := ts.Samples(); len(got) != 1 || got[0].Cycle != 1 {
+		t.Fatalf("Reserve lost existing samples: %+v", got)
+	}
+	// Appending past the reservation still works.
+	for i := 0; i < 20; i++ {
+		ts.Append(Sample{Cycle: int64(2 + i)})
+	}
+	if ts.Len() != 21 {
+		t.Fatalf("Len = %d after appends past the reservation, want 21", ts.Len())
+	}
+	if last, ok := ts.Last(); !ok || last.Cycle != 21 {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+}
+
+// TestReserveAvoidsAppendGrowth pins the sampling hot path: once the
+// simulation reserves the run's expected sample count, Append never
+// grows the backing array.
+func TestReserveAvoidsAppendGrowth(t *testing.T) {
+	var ts TimeSeries
+	const runs, perRun = 20, 50
+	ts.Reserve((runs + 1) * perRun)
+	s := Sample{Cycle: 7}
+	allocs := testing.AllocsPerRun(runs, func() {
+		for i := 0; i < perRun; i++ {
+			ts.Append(s)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Append allocates %.1f times per batch after Reserve, want 0", allocs)
+	}
+}
