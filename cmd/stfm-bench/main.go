@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"stfm/internal/dram"
 	"stfm/internal/experiments"
 	"stfm/internal/sim"
 	"stfm/internal/telemetry"
@@ -76,6 +77,7 @@ type report struct {
 func main() {
 	mixFlag := flag.String("mix", "astar,omnetpp", "comma-separated benchmark names")
 	policyFlag := flag.String("policy", string(sim.PolicyFRFCFS), "scheduling policy")
+	protocolFlag := flag.String("protocol", "", "DRAM protocol pack for single-mix mode: DDR2, DDR3, DDR4, GDDR5, HBM")
 	instrs := flag.Int64("instrs", 100_000, "per-thread instruction target")
 	minMisses := flag.Int64("minmisses", 150, "minimum DRAM misses per thread")
 	repeat := flag.Int("repeat", 3, "timed repetitions per mode (best is reported)")
@@ -108,6 +110,12 @@ func main() {
 		fatal(err)
 	}
 	cfg := sim.DefaultConfig(sim.PolicyKind(*policyFlag), len(profiles))
+	cfg.Protocol = dram.Protocol(*protocolFlag)
+	if cfg.Protocol != "" {
+		// Let the protocol's channel scaling apply instead of the
+		// DDR2-seeded count from DefaultConfig.
+		cfg.Channels = sim.ProtocolChannels(cfg.Protocol, len(profiles))
+	}
 	cfg.InstrTarget = *instrs
 	cfg.MinMisses = *minMisses
 

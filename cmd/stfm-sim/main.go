@@ -7,6 +7,7 @@
 //	stfm-sim -workload mcf,libquantum,GemsFDTD,astar -policy STFM
 //	stfm-sim -workload mcf,libquantum -policy NFQ -instrs 500000
 //	stfm-sim -workload desktop -policy FR-FCFS
+//	stfm-sim -workload mcf,libquantum -protocol HBM -refresh
 //	stfm-sim -telemetry -trace-out trace.json -series-out series.csv
 //	stfm-sim -list
 //
@@ -48,7 +49,8 @@ func main() {
 		alpha    = flag.Float64("alpha", 1.10, "STFM maximum tolerable unfairness")
 		weights  = flag.String("weights", "", "comma-separated thread weights (STFM weights / NFQ shares)")
 		caches   = flag.Bool("caches", false, "simulate the full L1/L2 hierarchy instead of miss streams")
-		refresh  = flag.Bool("refresh", false, "enable DRAM auto-refresh (tREFI/tRFC)")
+		refresh  = flag.Bool("refresh", false, "enable DRAM auto-refresh with the protocol's tREFI/tRFC constants")
+		protocol = flag.String("protocol", "", "DRAM protocol pack: DDR2, DDR3, DDR4, GDDR5, HBM (default: the paper's DDR2-800)")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
 
 		useTel      = flag.Bool("telemetry", false, "collect interval time series and DRAM event trace")
@@ -90,12 +92,33 @@ func main() {
 		fatal(err)
 	}
 
+	proto := dram.Protocol(*protocol)
+	var refreshTiming *dram.Timing
+	if *refresh {
+		// Refresh constants come from the protocol pack; with no
+		// protocol selected this is the DDR2 baseline with its
+		// historical tREFI/tRFC.
+		base := dram.DefaultTiming()
+		if proto != "" {
+			base, err = dram.PresetTiming(proto)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		tm := base.WithRefresh()
+		refreshTiming = &tm
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	opts := experiments.DefaultOptions()
 	opts.InstrTarget = *instrs
 	opts.Seed = *seed
+	// Protocol goes through Options, not the mutate callback, so the
+	// alone-run baselines behind the slowdown metrics use the same
+	// memory system as the shared run.
+	opts.Protocol = proto
 	if *useTel {
 		opts.Telemetry = telemetry.Options{SampleEvery: *sampleEvery, TraceCap: telemetry.DefaultTraceCap}
 	}
@@ -108,9 +131,8 @@ func main() {
 			c.STFM.Weights = w
 			c.NFQWeights = w
 		}
-		if *refresh {
-			tm := dram.DefaultTiming().WithRefresh()
-			c.Timing = &tm
+		if refreshTiming != nil {
+			c.Timing = refreshTiming
 		}
 	})
 	if err != nil {

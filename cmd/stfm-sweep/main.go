@@ -9,6 +9,8 @@
 //	stfm-sweep -knob banks -policies FR-FCFS,STFM
 //	stfm-sweep -knob channels -policies all
 //	stfm-sweep -knob cores
+//	stfm-sweep -knob protocol -policies FR-FCFS,STFM
+//	stfm-sweep -knob alpha -protocol DDR4
 package main
 
 import (
@@ -33,8 +35,9 @@ import (
 
 func main() {
 	var (
-		knob     = flag.String("knob", "alpha", "what to sweep: alpha, banks, rowbuffer, channels, cores, cap")
+		knob     = flag.String("knob", "alpha", "what to sweep: alpha, banks, rowbuffer, channels, cores, cap, protocol")
 		workload = flag.String("workload", "mcf,libquantum,GemsFDTD,astar", "comma-separated benchmarks")
+		protocol = flag.String("protocol", "", "DRAM protocol pack for non-protocol sweeps: DDR2, DDR3, DDR4, GDDR5, HBM")
 		policies = flag.String("policies", "", `schedulers to include, or "all" for every implemented policy including the PAR-BS and TCM extensions (default depends on knob)`)
 		instrs   = flag.Int64("instrs", 200_000, "per-thread instruction budget")
 		seed     = flag.Uint64("seed", 1, "trace seed")
@@ -48,6 +51,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	runCtx = ctx
+	protoPack = dram.Protocol(*protocol)
+	if protoPack != "" && !protoPack.Known() {
+		fmt.Fprintf(os.Stderr, "stfm-sweep: unknown protocol %q (known: %v)\n", protoPack, dram.Protocols())
+		os.Exit(1)
+	}
 
 	if *pprof != "" {
 		stop, err := telemetry.ServeProfiling(*pprof, 10*time.Second, log.New(os.Stderr, "stfm-sweep: ", 0).Printf)
@@ -82,6 +90,8 @@ func main() {
 		err = sweepCores(*instrs, *seed, pols)
 	case "cap":
 		err = sweepCap(names, *instrs, *seed)
+	case "protocol":
+		err = sweepProtocol(names, *instrs, *seed, pols)
 	default:
 		err = fmt.Errorf("unknown knob %q", *knob)
 	}
@@ -97,13 +107,43 @@ func main() {
 }
 
 // runCtx bounds every sweep simulation; main swaps in the
-// signal-canceled context before any sweep starts.
-var runCtx = context.Background()
+// signal-canceled context before any sweep starts. protoPack is the
+// -protocol flag: the DRAM pack every non-protocol sweep runs under.
+var (
+	runCtx    = context.Background()
+	protoPack dram.Protocol
+)
 
 func runner(instrs int64, seed uint64, geom *dram.Geometry, channels int) *experiments.Runner {
 	return experiments.NewRunnerContext(runCtx, experiments.Options{
-		InstrTarget: instrs, MinMisses: 150, Seed: seed, Geometry: geom, Channels: channels,
+		InstrTarget: instrs, MinMisses: 150, Seed: seed,
+		Protocol: protoPack, Geometry: geom, Channels: channels,
 	})
+}
+
+// sweepProtocol runs the workload under every DRAM protocol pack: the
+// cross-generation sensitivity sweep (one fresh runner per protocol,
+// since alone-run baselines are protocol-specific).
+func sweepProtocol(names []string, instrs int64, seed uint64, pols []sim.PolicyKind) error {
+	profs, err := profiles(names)
+	if err != nil {
+		return err
+	}
+	pols = defaultPolicies(pols)
+	fmt.Println("protocol,policy,unfairness,weighted_speedup,hmean_speedup,sum_ipc")
+	for _, p := range dram.Protocols() {
+		r := experiments.NewRunnerContext(runCtx, experiments.Options{
+			InstrTarget: instrs, MinMisses: 150, Seed: seed, Protocol: p,
+		})
+		for _, pol := range pols {
+			wr, err := r.RunWorkload(pol, profs, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s,%s,%.4f,%.4f,%.4f,%.4f\n", p, pol, wr.Unfairness, wr.WeightedSpeedup, wr.HmeanSpeedup, wr.SumIPC)
+		}
+	}
+	return nil
 }
 
 func profiles(names []string) ([]trace.Profile, error) {

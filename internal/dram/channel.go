@@ -18,7 +18,7 @@ type Stats struct {
 	RowClosed   int64 // accesses that found the bank closed
 	RowConflict int64 // accesses that hit a conflicting open row
 	BusyCycles  int64 // data-bus busy CPU cycles
-	Refreshes   int64 // all-bank auto-refresh operations
+	Refreshes   int64 // auto-refresh operations (all-bank or per-bank)
 }
 
 // RowHitRate returns the fraction of serviced column accesses whose
@@ -43,9 +43,23 @@ type Channel struct {
 	// [c+CL, c+CL+BL) starts at or after dataBusFreeAt.
 	dataBusFreeAt int64
 
-	// nextRefreshAt is the next all-bank refresh edge (only meaningful
-	// with timing.REFI > 0).
+	// nextRefreshAt is the next refresh edge (only meaningful with
+	// timing.REFI > 0); refreshEvery is the cadence between edges —
+	// REFI for all-bank refresh, REFI/banks for rotating per-bank
+	// refresh (so each bank still sees one refresh per REFI).
+	// refreshBank is the per-bank rotation cursor.
 	nextRefreshAt int64
+	refreshEvery  int64
+	refreshBank   int
+
+	// banksPerGroup is the bank-group width when timing.BankGroups > 0;
+	// 0 disables the tCCD_L/tCCD_S column-spacing constraint entirely
+	// (DDR2/DDR3). lastColAt and lastColGroup record the channel's most
+	// recent column command (issue time and bank group) — the state the
+	// CAS-to-CAS spacing check compares against.
+	banksPerGroup int
+	lastColAt     int64
+	lastColGroup  int
 
 	// Rank-level inter-command constraints: the last four activate
 	// times (for tRRD and the rolling tFAW window) and the completion
@@ -58,7 +72,8 @@ type Channel struct {
 
 	// sharedEpoch counts changes to the rank- and bus-level constraint
 	// state above (activate history for tRRD/tFAW, data-bus occupancy,
-	// read/write turnaround). Together with a bank's own epoch it forms
+	// read/write turnaround, and the bank-group CAS-to-CAS state —
+	// every column issue bumps it). Together with a bank's own epoch it forms
 	// the validity key for memoized NextCommand/NextReady answers: see
 	// BankEpoch. Starts at 1 so the combined epoch is never zero — a
 	// zero cache key can then mean "never computed".
@@ -69,38 +84,67 @@ type Channel struct {
 
 // NewChannel creates a channel with the given number of banks.
 func NewChannel(banks int, t Timing) *Channel {
-	c := &Channel{timing: t, banks: make([]Bank, banks), nextRefreshAt: t.REFI, sharedEpoch: 1}
+	c := &Channel{timing: t, banks: make([]Bank, banks), sharedEpoch: 1}
+	c.refreshEvery = t.REFI
+	if t.RefreshPerBank && banks > 0 {
+		c.refreshEvery = t.REFI / int64(banks)
+		if c.refreshEvery < 1 {
+			c.refreshEvery = 1
+		}
+	}
+	c.nextRefreshAt = c.refreshEvery
+	if t.BankGroups > 0 && banks >= t.BankGroups {
+		c.banksPerGroup = banks / t.BankGroups
+	}
 	for i := range c.actTimes {
 		c.actTimes[i] = -1 << 62
 	}
 	c.readBurstEnd = -1 << 62
 	c.writeRecoveryEnd = -1 << 62
+	c.lastColAt = -1 << 62
 	return c
 }
 
-// MaybeRefresh performs an all-bank auto-refresh when the refresh
-// interval has elapsed: all banks are precharged and blocked for RFC
-// cycles. It is a no-op when refresh is disabled. The controller
-// calls it once per DRAM cycle, before scheduling; the returned flag
-// reports whether a refresh fired (and bank state therefore changed).
+// MaybeRefresh performs an auto-refresh when the refresh interval has
+// elapsed. All-bank mode (the default): every bank is precharged and
+// blocked for RFC cycles. Per-bank mode (Timing.RefreshPerBank, the
+// GDDR5/HBM REFpb scheme): only the rotation cursor's bank loses its
+// row and blocks, every REFI/banks cycles, so each bank still sees one
+// refresh per REFI while the rest of the channel keeps serving. It is
+// a no-op when refresh is disabled. The controller calls it once per
+// DRAM cycle, before scheduling; the returned flag reports whether a
+// refresh fired (and bank state therefore changed).
 func (c *Channel) MaybeRefresh(now int64) bool {
 	if c.timing.REFI <= 0 || now < c.nextRefreshAt {
 		return false
 	}
-	for i := range c.banks {
-		b := &c.banks[i]
-		// Auto-refresh implies precharge-all; open rows are lost and
-		// every bank blocks until the refresh cycle completes.
+	if c.timing.RefreshPerBank {
+		// Per-bank refresh requires the bank precharged first; the
+		// model folds that into the refresh (an open row is lost),
+		// matching the all-bank scheme's precharge-all simplification.
+		b := &c.banks[c.refreshBank]
 		b.state = BankClosed
 		if at := now + c.timing.RFC; at > b.actReadyAt {
 			b.actReadyAt = at
 		}
 		b.epoch++
+		c.refreshBank = (c.refreshBank + 1) % len(c.banks)
+	} else {
+		for i := range c.banks {
+			b := &c.banks[i]
+			// Auto-refresh implies precharge-all; open rows are lost and
+			// every bank blocks until the refresh cycle completes.
+			b.state = BankClosed
+			if at := now + c.timing.RFC; at > b.actReadyAt {
+				b.actReadyAt = at
+			}
+			b.epoch++
+		}
+		c.sharedEpoch++
 	}
-	c.sharedEpoch++
 	c.stats.Refreshes++
 	for c.nextRefreshAt <= now {
-		c.nextRefreshAt += c.timing.REFI
+		c.nextRefreshAt += c.refreshEvery
 	}
 	return true
 }
@@ -181,6 +225,11 @@ func (c *Channel) CanIssue(cmd Command, now int64) bool {
 		if !b.CanColumn(now, cmd.Row) {
 			return false
 		}
+		// Bank-group CAS-to-CAS spacing against the channel's previous
+		// column command (tCCD_L within a group, tCCD_S across groups).
+		if c.banksPerGroup > 0 && now < c.lastColAt+c.ccd(cmd.Bank) {
+			return false
+		}
 		if now+c.timing.CL < c.dataBusFreeAt {
 			return false
 		}
@@ -230,6 +279,10 @@ func (c *Channel) CommandReadyAt(cmd Command) int64 {
 		at = b.preReadyAt
 	case CmdRead, CmdWrite:
 		at = b.colReadyAt
+		// Bank-group CAS-to-CAS spacing (tCCD_L/tCCD_S).
+		if c.banksPerGroup > 0 {
+			at = max(at, c.lastColAt+c.ccd(cmd.Bank))
+		}
 		// The burst window [at+CL, at+CL+BL) must start at or after
 		// dataBusFreeAt.
 		at = max(at, c.dataBusFreeAt-c.timing.CL)
@@ -242,8 +295,8 @@ func (c *Channel) CommandReadyAt(cmd Command) int64 {
 	return at
 }
 
-// NextRefresh returns the cycle of the next all-bank auto-refresh
-// deadline, or Horizon when refresh is disabled.
+// NextRefresh returns the cycle of the next auto-refresh deadline
+// (all-bank or per-bank), or Horizon when refresh is disabled.
 func (c *Channel) NextRefresh() int64 {
 	if c.timing.REFI <= 0 {
 		return Horizon
@@ -294,6 +347,10 @@ func (c *Channel) Issue(cmd Command, now int64) (burstDone int64) {
 	default:
 		burstDone = b.Column(now, cmd.Kind == CmdWrite, c.timing)
 		c.dataBusFreeAt = burstDone
+		if c.banksPerGroup > 0 {
+			c.lastColAt = now
+			c.lastColGroup = cmd.Bank / c.banksPerGroup
+		}
 		c.sharedEpoch++
 		c.stats.BusyCycles += c.timing.BurstCycles
 		if cmd.Kind == CmdWrite {
@@ -305,6 +362,17 @@ func (c *Channel) Issue(cmd Command, now int64) (burstDone int64) {
 		}
 		return burstDone
 	}
+}
+
+// ccd returns the CAS-to-CAS spacing the next column command to bank
+// must keep from the channel's most recent column command: tCCD_L
+// when both land in the same bank group, tCCD_S otherwise. Only
+// meaningful when bank groups are enabled (banksPerGroup > 0).
+func (c *Channel) ccd(bank int) int64 {
+	if bank/c.banksPerGroup == c.lastColGroup {
+		return c.timing.CCDL
+	}
+	return c.timing.CCDS
 }
 
 // RecordOutcome counts the row-buffer classification of a request at

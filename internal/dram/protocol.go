@@ -1,0 +1,204 @@
+package dram
+
+import "fmt"
+
+// Protocol names a DRAM interface generation with a preset timing and
+// geometry pack. The presets translate representative datasheet values
+// into the model's 4 GHz CPU-cycle unit (1 ns = 4 cycles), the same
+// convention as DefaultTiming; they are self-consistent configurations
+// for protocol-sensitivity studies, not certified reproductions of any
+// single part. DDR2 is the paper's baseline: its pack is exactly
+// DefaultTiming/DefaultGeometry, so selecting it is bit-identical to
+// selecting nothing.
+type Protocol string
+
+// The supported protocol packs, oldest to newest. DDR3/DDR4 are the
+// commodity successors of the paper's DDR2-800; GDDR5 and HBM are the
+// graphics/stacked parts whose bank groups and per-bank refresh the
+// model gates on Timing.BankGroups and Timing.RefreshPerBank.
+const (
+	DDR2  Protocol = "DDR2"
+	DDR3  Protocol = "DDR3"
+	DDR4  Protocol = "DDR4"
+	GDDR5 Protocol = "GDDR5"
+	HBM   Protocol = "HBM"
+)
+
+// Protocols lists the supported packs, oldest first.
+func Protocols() []Protocol {
+	return []Protocol{DDR2, DDR3, DDR4, GDDR5, HBM}
+}
+
+// Known reports whether p names a supported protocol pack.
+func (p Protocol) Known() bool {
+	switch p {
+	case DDR2, DDR3, DDR4, GDDR5, HBM:
+		return true
+	}
+	return false
+}
+
+func unknownProtocol(p Protocol) error {
+	return fmt.Errorf("dram: unknown protocol %q (known: %v)", p, Protocols())
+}
+
+// PresetTiming returns the timing pack for p, in 4 GHz CPU cycles.
+//
+// The packs model each generation's characteristic shape rather than a
+// specific speed bin: absolute latencies stay near-flat across
+// generations (the well-known ~13-15 ns tCL plateau) while burst time
+// shrinks with bandwidth, DDR4/GDDR5/HBM gain bank groups with
+// tCCD_L/tCCD_S column spacing, and the activation window (tRRD/tFAW)
+// tightens or relaxes with the interface width and bank count.
+func PresetTiming(p Protocol) (Timing, error) {
+	switch p {
+	case DDR2:
+		return DefaultTiming(), nil
+	case DDR3:
+		// DDR3-1600: 800 MHz command clock (ratio 5), ~13.75 ns CAS,
+		// 64-byte burst at 12.8 GB/s = 5 ns.
+		return Timing{
+			Protocol:              DDR3,
+			CL:                    55,  // 13.75 ns
+			RCD:                   55,  // 13.75 ns
+			RP:                    55,  // 13.75 ns
+			RAS:                   140, // 35 ns
+			WR:                    60,  // 15 ns
+			RTP:                   30,  // 7.5 ns
+			BurstCycles:           20,  // 5 ns (64 B at 12.8 GB/s)
+			RoundTripOverhead:     40,  // 10 ns, as the baseline
+			CPUCyclesPerDRAMCycle: 5,   // 800 MHz command clock
+			RRD:                   30,  // 7.5 ns
+			FAW:                   160, // 40 ns
+			WTR:                   30,  // 7.5 ns
+			RTW:                   20,  // 5 ns
+		}, nil
+	case DDR4:
+		// DDR4-2000-class: 1 GHz command clock (ratio 4), 14 ns CAS,
+		// 4 ns burst, four bank groups with tCCD_S = 4 tCK and
+		// tCCD_L = 6 tCK.
+		return Timing{
+			Protocol:              DDR4,
+			CL:                    56,  // 14 ns
+			RCD:                   56,  // 14 ns
+			RP:                    56,  // 14 ns
+			RAS:                   128, // 32 ns
+			WR:                    60,  // 15 ns
+			RTP:                   30,  // 7.5 ns
+			BurstCycles:           16,  // 4 ns (64 B at 16 GB/s)
+			RoundTripOverhead:     40,
+			CPUCyclesPerDRAMCycle: 4,   // 1 GHz command clock
+			RRD:                   24,  // 6 ns (tRRD_L)
+			FAW:                   120, // 30 ns
+			WTR:                   30,  // 7.5 ns
+			RTW:                   20,  // 5 ns
+			BankGroups:            4,
+			CCDL:                  24, // 6 tCK
+			CCDS:                  16, // 4 tCK
+		}, nil
+	case GDDR5:
+		// GDDR5 at 4 GT/s: 1 GHz command clock (ratio 4), shorter bank
+		// latencies, aggressive column cadence (tCCD_S = 2 tCK), and
+		// per-bank refresh (REFpb) so the part never stalls all banks.
+		return Timing{
+			Protocol:              GDDR5,
+			CL:                    48,  // 12 ns
+			RCD:                   48,  // 12 ns
+			RP:                    48,  // 12 ns
+			RAS:                   112, // 28 ns
+			WR:                    48,  // 12 ns
+			RTP:                   8,   // 2 ns
+			BurstCycles:           16,  // 4 ns (64 B at 16 GB/s)
+			RoundTripOverhead:     40,
+			CPUCyclesPerDRAMCycle: 4,  // 1 GHz command clock
+			RRD:                   24, // 6 ns
+			FAW:                   96, // 24 ns
+			WTR:                   20, // 5 ns
+			RTW:                   16, // 4 ns
+			BankGroups:            4,
+			CCDL:                  12, // 3 tCK
+			CCDS:                  8,  // 2 tCK
+		}, nil
+	case HBM:
+		// HBM (first generation): slow 500 MHz command clock (ratio 8)
+		// on a wide interface, so bank latencies match DDR4 in
+		// nanoseconds but span few DRAM cycles; a very relaxed
+		// activation window (tFAW = 16 ns) and per-bank refresh. The
+		// bandwidth comes from channel count (see ProtocolChannels in
+		// internal/sim), not per-channel burst rate.
+		return Timing{
+			Protocol:              HBM,
+			CL:                    56,  // 14 ns
+			RCD:                   56,  // 14 ns
+			RP:                    56,  // 14 ns
+			RAS:                   132, // 33 ns
+			WR:                    64,  // 16 ns
+			RTP:                   30,  // 7.5 ns
+			BurstCycles:           16,  // 4 ns (64 B at 16 GB/s per channel)
+			RoundTripOverhead:     40,
+			CPUCyclesPerDRAMCycle: 8,  // 500 MHz command clock
+			RRD:                   16, // 4 ns
+			FAW:                   64, // 16 ns
+			WTR:                   24, // 6 ns
+			RTW:                   16, // 4 ns
+			BankGroups:            4,
+			CCDL:                  32, // 4 tCK
+			CCDS:                  16, // 2 tCK
+		}, nil
+	}
+	return Timing{}, unknownProtocol(p)
+}
+
+// PresetGeometry returns the DRAM organization pack for p with the
+// given channel count. Newer generations trade row-buffer size for
+// bank count: DDR4/GDDR5/HBM expose 16 banks per channel (four bank
+// groups of four) with progressively smaller pages.
+func PresetGeometry(p Protocol, channels int) (Geometry, error) {
+	g := DefaultGeometry(channels)
+	switch p {
+	case DDR2:
+		// The paper's Table 1/2 baseline, unchanged.
+	case DDR3:
+		g.RowsPerBank = 1 << 15 // denser devices, same 8-bank layout
+	case DDR4:
+		g.BanksPerChannel = 16 // 4 bank groups x 4 banks
+		g.RowsPerBank = 1 << 15
+		g.RowBufferBytes = 8 * 1024 // 1 KB/chip x 8 chips
+	case GDDR5:
+		g.BanksPerChannel = 16
+		g.RowBufferBytes = 4 * 1024
+	case HBM:
+		g.BanksPerChannel = 16
+		g.RowBufferBytes = 2 * 1024 // 2 KB pseudo-channel page
+	default:
+		return Geometry{}, unknownProtocol(p)
+	}
+	return g, nil
+}
+
+// refreshPack holds one protocol's auto-refresh constants: the average
+// refresh interval and refresh cycle time in CPU cycles, and whether
+// the protocol refreshes banks one at a time (GDDR5/HBM REFpb) instead
+// of all at once.
+type refreshPack struct {
+	refi, rfc int64
+	perBank   bool
+}
+
+// refreshPreset returns the refresh constants for p. Unknown or empty
+// protocols get the DDR2 constants — the historical behavior of
+// WithRefresh for hand-built timings.
+func refreshPreset(p Protocol) refreshPack {
+	switch p {
+	case DDR3:
+		return refreshPack{refi: 31_200, rfc: 640, perBank: false} // 7.8 us / 160 ns (2 Gb)
+	case DDR4:
+		return refreshPack{refi: 31_200, rfc: 1_040, perBank: false} // 7.8 us / 260 ns (8 Gb)
+	case GDDR5:
+		return refreshPack{refi: 31_200, rfc: 480, perBank: true} // 7.8 us per bank / 120 ns REFpb
+	case HBM:
+		return refreshPack{refi: 15_600, rfc: 640, perBank: true} // 3.9 us per bank / 160 ns REFsb
+	default:
+		return refreshPack{refi: 31_200, rfc: 510, perBank: false} // DDR2: 7.8 us / 127.5 ns (1 Gb)
+	}
+}

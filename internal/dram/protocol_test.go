@@ -1,0 +1,257 @@
+package dram
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPresetsValidate: every protocol pack must be a usable timing and
+// geometry, with bank groups that tile the preset's own bank count.
+func TestPresetsValidate(t *testing.T) {
+	for _, p := range Protocols() {
+		tm, err := PresetTiming(p)
+		if err != nil {
+			t.Fatalf("PresetTiming(%s): %v", p, err)
+		}
+		if err := tm.Validate(); err != nil {
+			t.Errorf("PresetTiming(%s).Validate(): %v", p, err)
+		}
+		if tm.Protocol != p {
+			t.Errorf("PresetTiming(%s).Protocol = %q, want %q", p, tm.Protocol, p)
+		}
+		if err := tm.WithRefresh().Validate(); err != nil {
+			t.Errorf("PresetTiming(%s).WithRefresh().Validate(): %v", p, err)
+		}
+		for _, channels := range []int{1, 2, 4, 8} {
+			g, err := PresetGeometry(p, channels)
+			if err != nil {
+				t.Fatalf("PresetGeometry(%s, %d): %v", p, channels, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("PresetGeometry(%s, %d).Validate(): %v", p, channels, err)
+			}
+			if bg := tm.BankGroups; bg > 0 && g.BanksPerChannel%bg != 0 {
+				t.Errorf("%s: BankGroups %d does not divide BanksPerChannel %d", p, bg, g.BanksPerChannel)
+			}
+		}
+	}
+	if _, err := PresetTiming("DDR9"); err == nil {
+		t.Error("PresetTiming accepted an unknown protocol")
+	}
+	if _, err := PresetGeometry("DDR9", 1); err == nil {
+		t.Error("PresetGeometry accepted an unknown protocol")
+	}
+}
+
+// TestDDR2PresetIsTheBaseline: the DDR2 pack must be bit-identical to
+// the paper's defaults — that equality is what lets Config.Protocol ""
+// and "DDR2" share results, fingerprints, and cache entries.
+func TestDDR2PresetIsTheBaseline(t *testing.T) {
+	tm, err := PresetTiming(DDR2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tm, DefaultTiming()) {
+		t.Errorf("PresetTiming(DDR2) = %+v,\nwant DefaultTiming() = %+v", tm, DefaultTiming())
+	}
+	for _, channels := range []int{1, 2, 4} {
+		g, err := PresetGeometry(DDR2, channels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g, DefaultGeometry(channels)) {
+			t.Errorf("PresetGeometry(DDR2, %d) = %+v, want DefaultGeometry", channels, g)
+		}
+	}
+}
+
+// TestWithRefreshPerProtocol: refresh constants come from the
+// receiver's protocol pack, not a DDR2 hardcode; a protocol-less
+// custom timing keeps the historical DDR2 values.
+func TestWithRefreshPerProtocol(t *testing.T) {
+	cases := []struct {
+		proto   Protocol
+		refi    int64
+		rfc     int64
+		perBank bool
+	}{
+		{DDR2, 31_200, 510, false},
+		{DDR3, 31_200, 640, false},
+		{DDR4, 31_200, 1_040, false},
+		{GDDR5, 31_200, 480, true},
+		{HBM, 15_600, 640, true},
+		{"", 31_200, 510, false}, // custom timing: DDR2 constants
+	}
+	for _, c := range cases {
+		tm := DefaultTiming()
+		tm.Protocol = c.proto
+		got := tm.WithRefresh()
+		if got.REFI != c.refi || got.RFC != c.rfc || got.RefreshPerBank != c.perBank {
+			t.Errorf("WithRefresh(%q) = REFI %d RFC %d perBank %t, want %d/%d/%t",
+				c.proto, got.REFI, got.RFC, got.RefreshPerBank, c.refi, c.rfc, c.perBank)
+		}
+	}
+}
+
+// TestTimingValidateProtocolFields: per-rejection coverage of the
+// bank-group and per-bank-refresh validity rules.
+func TestTimingValidateProtocolFields(t *testing.T) {
+	mut := func(f func(*Timing)) Timing {
+		tm := DefaultTiming()
+		f(&tm)
+		return tm
+	}
+	bad := []struct {
+		name string
+		tm   Timing
+	}{
+		{"negative BankGroups", mut(func(tm *Timing) { tm.BankGroups = -1 })},
+		{"non-power-of-two BankGroups", mut(func(tm *Timing) { tm.BankGroups = 3; tm.CCDL = 24; tm.CCDS = 16 })},
+		{"CCDS above CCDL", mut(func(tm *Timing) { tm.BankGroups = 4; tm.CCDL = 16; tm.CCDS = 24 })},
+		{"negative CCDL", mut(func(tm *Timing) { tm.BankGroups = 4; tm.CCDL = -1 })},
+		{"negative CCDS", mut(func(tm *Timing) { tm.BankGroups = 4; tm.CCDL = 24; tm.CCDS = -1 })},
+		{"CCD without bank groups", mut(func(tm *Timing) { tm.CCDL = 24; tm.CCDS = 16 })},
+		{"per-bank refresh without refresh", mut(func(tm *Timing) { tm.RefreshPerBank = true })},
+		{"unknown protocol", mut(func(tm *Timing) { tm.Protocol = "DDR9" })},
+	}
+	for _, tc := range bad {
+		if err := tc.tm.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+	ok := mut(func(tm *Timing) { tm.BankGroups = 4; tm.CCDL = 24; tm.CCDS = 16 })
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid bank-grouped timing rejected: %v", err)
+	}
+	okRef := DefaultTiming()
+	okRef.Protocol = HBM
+	if err := okRef.WithRefresh().Validate(); err != nil {
+		t.Errorf("valid per-bank refresh timing rejected: %v", err)
+	}
+}
+
+// TestBankGroupCCD: the channel must space column commands by tCCD_L
+// within a bank group and tCCD_S across groups, with CanIssue and
+// CommandReadyAt agreeing exactly at the boundary.
+func TestBankGroupCCD(t *testing.T) {
+	tm := DefaultTiming()
+	tm.BankGroups = 2 // 8 banks -> groups {0..3} and {4..7}
+	// Spacings chosen to dominate the burst (40) and turnaround terms
+	// so the CCD constraint is what the assertions observe.
+	tm.CCDL = 120
+	tm.CCDS = 50
+	c := NewChannel(8, tm)
+
+	// Open rows in bank 0 (group 0) and bank 4 (group 1), honoring
+	// tRRD, then wait out tRCD before the first column access.
+	c.Issue(Command{Kind: CmdActivate, Bank: 0, Row: 1}, 0)
+	c.Issue(Command{Kind: CmdActivate, Bank: 4, Row: 2}, tm.RRD)
+	colAt := tm.RRD + tm.RCD
+	c.Issue(Command{Kind: CmdRead, Bank: 0, Row: 1}, colAt)
+
+	sameGroup := Command{Kind: CmdRead, Bank: 0, Row: 1}
+	crossGroup := Command{Kind: CmdRead, Bank: 4, Row: 2}
+	if at, want := c.CommandReadyAt(sameGroup), colAt+tm.CCDL; at != want {
+		t.Errorf("same-group column ready at %d, want issue+CCDL = %d", at, want)
+	}
+	if at, want := c.CommandReadyAt(crossGroup), colAt+tm.CCDS; at != want {
+		t.Errorf("cross-group column ready at %d, want issue+CCDS = %d", at, want)
+	}
+	for _, cmd := range []Command{sameGroup, crossGroup} {
+		at := c.CommandReadyAt(cmd)
+		if c.CanIssue(cmd, at-1) {
+			t.Errorf("bank %d: CanIssue true one cycle before CommandReadyAt %d", cmd.Bank, at)
+		}
+		if !c.CanIssue(cmd, at) {
+			t.Errorf("bank %d: CanIssue false at CommandReadyAt %d (mirror violated)", cmd.Bank, at)
+		}
+	}
+
+	// A cross-group issue must flip the group the long spacing applies
+	// to: after reading bank 4, bank 4 is the same-group target.
+	t2 := c.CommandReadyAt(crossGroup)
+	c.Issue(crossGroup, t2)
+	if at, want := c.CommandReadyAt(crossGroup), t2+tm.CCDL; at != want {
+		t.Errorf("after cross-group issue, same-group ready at %d, want %d", at, want)
+	}
+	if at, want := c.CommandReadyAt(sameGroup), t2+tm.CCDS; at != want {
+		t.Errorf("after cross-group issue, cross-group ready at %d, want %d", at, want)
+	}
+}
+
+// TestBankGroupsZeroKeepsLegacySpacing: with BankGroups = 0 the only
+// column spacing is the data bus, exactly as before the bank-group
+// feature existed.
+func TestBankGroupsZeroKeepsLegacySpacing(t *testing.T) {
+	tm := DefaultTiming()
+	c := NewChannel(8, tm)
+	c.Issue(Command{Kind: CmdActivate, Bank: 0, Row: 1}, 0)
+	colAt := tm.RCD
+	c.Issue(Command{Kind: CmdRead, Bank: 0, Row: 1}, colAt)
+	// Next read to the same open row: bounded by the burst occupancy
+	// (dataBusFreeAt - CL), not any CAS-to-CAS constant.
+	next := Command{Kind: CmdRead, Bank: 0, Row: 1}
+	if at, want := c.CommandReadyAt(next), colAt+tm.BurstCycles; at != want {
+		t.Errorf("legacy column ready at %d, want burst-bound %d", at, want)
+	}
+}
+
+// TestPerBankRefreshRotates: per-bank refresh must close one bank at a
+// time, round-robin, leaving the other banks' rows open, and advance
+// at REFI/banks cadence.
+func TestPerBankRefreshRotates(t *testing.T) {
+	tm := DefaultTiming()
+	tm.REFI = 800 // 8 banks -> one bank refreshes every 100 cycles
+	tm.RFC = 510
+	tm.RefreshPerBank = true
+	c := NewChannel(8, tm)
+
+	if got := c.NextRefresh(); got != 100 {
+		t.Fatalf("first per-bank refresh at %d, want REFI/banks = 100", got)
+	}
+	c.Issue(Command{Kind: CmdActivate, Bank: 0, Row: 1}, 0)
+	c.Issue(Command{Kind: CmdActivate, Bank: 1, Row: 2}, tm.RRD)
+
+	if !c.MaybeRefresh(100) {
+		t.Fatal("refresh did not fire at its deadline")
+	}
+	if got := c.Outcome(0, 1); got != RowClosed {
+		t.Errorf("bank 0 after its refresh: outcome %v, want RowClosed", got)
+	}
+	if got := c.Outcome(1, 2); got != RowHit {
+		t.Errorf("bank 1 must keep its open row through bank 0's refresh, got %v", got)
+	}
+	if at := c.CommandReadyAt(Command{Kind: CmdActivate, Bank: 0, Row: 1}); at < 100+tm.RFC {
+		t.Errorf("refreshed bank re-activatable at %d, want >= %d (RFC block)", at, 100+tm.RFC)
+	}
+
+	if !c.MaybeRefresh(200) {
+		t.Fatal("second refresh did not fire")
+	}
+	if got := c.Outcome(1, 2); got != RowClosed {
+		t.Errorf("bank 1 after rotation: outcome %v, want RowClosed", got)
+	}
+	if got := c.Stats().Refreshes; got != 2 {
+		t.Errorf("Refreshes = %d, want 2", got)
+	}
+}
+
+// TestAllBankRefreshUnchanged: the default all-bank scheme still closes
+// every bank at REFI cadence (regression guard for the refresh split).
+func TestAllBankRefreshUnchanged(t *testing.T) {
+	tm := DefaultTiming().WithRefresh()
+	c := NewChannel(8, tm)
+	if got := c.NextRefresh(); got != tm.REFI {
+		t.Fatalf("first all-bank refresh at %d, want REFI = %d", got, tm.REFI)
+	}
+	c.Issue(Command{Kind: CmdActivate, Bank: 0, Row: 1}, 0)
+	c.Issue(Command{Kind: CmdActivate, Bank: 1, Row: 2}, tm.RRD)
+	if !c.MaybeRefresh(tm.REFI) {
+		t.Fatal("refresh did not fire")
+	}
+	for bank, row := range map[int]int{0: 1, 1: 2} {
+		if got := c.Outcome(bank, row); got != RowClosed {
+			t.Errorf("bank %d after all-bank refresh: outcome %v, want RowClosed", bank, got)
+		}
+	}
+}

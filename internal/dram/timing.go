@@ -70,6 +70,33 @@ type Timing struct {
 	// RTW is the read-to-write turnaround the controller must leave
 	// between a read burst's completion and the next write command.
 	RTW int64
+	// BankGroups partitions each channel's banks into groups with
+	// distinct column-command spacing (DDR4/GDDR5/HBM): back-to-back
+	// column accesses within one group must be CCDL apart, across
+	// groups only CCDS apart. 0 disables bank grouping (the DDR2/DDR3
+	// behavior, where the data-bus burst is the only column spacing).
+	// Must evenly divide the geometry's BanksPerChannel.
+	BankGroups int
+	// CCDL is the long CAS-to-CAS spacing (tCCD_L): the minimum cycles
+	// between column commands to banks of the same bank group.
+	// Meaningful only with BankGroups > 0.
+	CCDL int64
+	// CCDS is the short CAS-to-CAS spacing (tCCD_S): the minimum cycles
+	// between column commands to banks of different bank groups.
+	// Meaningful only with BankGroups > 0; must not exceed CCDL.
+	CCDS int64
+	// RefreshPerBank switches auto-refresh from the all-bank scheme to
+	// the rotating per-bank scheme of GDDR5/HBM (REFpb): every
+	// REFI/banks cycles one bank loses its row and blocks for RFC
+	// cycles while the others keep serving. The two schemes are
+	// mutually exclusive by construction — this flag selects which one
+	// runs; it requires refresh (REFI/RFC) to be configured.
+	RefreshPerBank bool
+	// Protocol names the preset pack this timing came from (see
+	// PresetTiming); the empty value means a custom, DDR2-compatible
+	// timing. It selects the protocol's refresh constants in
+	// WithRefresh and is carried for validation and reporting.
+	Protocol Protocol
 }
 
 // Validate reports an error if the timing is not usable: the bank and
@@ -93,22 +120,43 @@ func (t Timing) Validate() error {
 		return fmt.Errorf("dram: negative refresh timing REFI=%d RFC=%d", t.REFI, t.RFC)
 	case (t.REFI > 0) != (t.RFC > 0):
 		return fmt.Errorf("dram: refresh needs both REFI and RFC set, got REFI=%d RFC=%d", t.REFI, t.RFC)
+	case t.RefreshPerBank && t.REFI == 0:
+		return fmt.Errorf("dram: RefreshPerBank requires refresh to be configured (REFI/RFC)")
+	case t.BankGroups < 0 || (t.BankGroups > 0 && t.BankGroups&(t.BankGroups-1) != 0):
+		return fmt.Errorf("dram: BankGroups must be 0 or a power of two, got %d", t.BankGroups)
+	case t.CCDL < 0 || t.CCDS < 0:
+		return fmt.Errorf("dram: negative CAS-to-CAS spacing CCDL=%d CCDS=%d", t.CCDL, t.CCDS)
+	case t.BankGroups > 0 && t.CCDS > t.CCDL:
+		return fmt.Errorf("dram: tCCD_S must not exceed tCCD_L, got CCDS=%d CCDL=%d", t.CCDS, t.CCDL)
+	case t.BankGroups == 0 && (t.CCDL != 0 || t.CCDS != 0):
+		return fmt.Errorf("dram: CCDL/CCDS require BankGroups > 0, got CCDL=%d CCDS=%d without bank groups", t.CCDL, t.CCDS)
+	case t.Protocol != "" && !t.Protocol.Known():
+		return unknownProtocol(t.Protocol)
 	}
 	return nil
 }
 
-// WithRefresh returns a copy of the timing with DDR2-typical refresh
-// enabled: tREFI = 7.8 us, tRFC = 127.5 ns (1 Gb device), at 4 GHz.
+// WithRefresh returns a copy of the timing with auto-refresh enabled
+// using the receiver's protocol-appropriate constants (refreshPreset):
+// all-bank refresh with generation-scaled tREFI/tRFC for the DDR
+// packs, rotating per-bank refresh for GDDR5/HBM. A custom timing
+// (empty Protocol) gets the DDR2 constants — tREFI = 7.8 us, tRFC =
+// 127.5 ns (1 Gb device) at 4 GHz — preserving the historical
+// behavior.
 func (t Timing) WithRefresh() Timing {
-	t.REFI = 31_200 // 7.8 us
-	t.RFC = 510     // 127.5 ns
+	r := refreshPreset(t.Protocol)
+	t.REFI = r.refi
+	t.RFC = r.rfc
+	t.RefreshPerBank = r.perBank
 	return t
 }
 
 // DefaultTiming returns the paper's Table 2 configuration translated to
-// 4 GHz CPU cycles (1 ns = 4 cycles).
+// 4 GHz CPU cycles (1 ns = 4 cycles). It is the DDR2 protocol pack:
+// PresetTiming(DDR2) returns exactly this value.
 func DefaultTiming() Timing {
 	return Timing{
+		Protocol:              DDR2,
 		CL:                    60,  // 15 ns
 		RCD:                   60,  // 15 ns
 		RP:                    60,  // 15 ns

@@ -29,7 +29,12 @@ type Options struct {
 	MinMisses int64
 	// Seed drives workload generation.
 	Seed uint64
-	// Channels overrides channel auto-scaling (0 = paper scaling).
+	// Protocol selects a named DRAM timing/geometry pack for every run,
+	// including the alone baselines (empty = the paper's DDR2-800; see
+	// dram.PresetTiming). Geometry/Timing below still override the pack.
+	Protocol dram.Protocol
+	// Channels overrides channel auto-scaling (0 = paper scaling,
+	// protocol-aware via sim.ProtocolChannels).
 	Channels int
 	// Geometry / Timing override the DRAM organization (Table 5).
 	Geometry *dram.Geometry
@@ -97,6 +102,7 @@ func (r *Runner) baseConfig(policy sim.PolicyKind, cores int) sim.Config {
 	cfg.InstrTarget = r.opts.InstrTarget
 	cfg.MinMisses = r.opts.MinMisses
 	cfg.Seed = r.opts.Seed
+	cfg.Protocol = r.opts.Protocol
 	cfg.Channels = r.opts.Channels
 	cfg.Geometry = r.opts.Geometry
 	cfg.Timing = r.opts.Timing
@@ -105,7 +111,7 @@ func (r *Runner) baseConfig(policy sim.PolicyKind, cores int) sim.Config {
 
 // aloneKey captures everything that changes an alone-run baseline.
 func (r *Runner) aloneKey(name string, channels int) string {
-	key := fmt.Sprintf("%s/ch%d/i%d/m%d/s%d", name, channels, r.opts.InstrTarget, r.opts.MinMisses, r.opts.Seed)
+	key := fmt.Sprintf("%s/p%s/ch%d/i%d/m%d/s%d", name, r.opts.Protocol, channels, r.opts.InstrTarget, r.opts.MinMisses, r.opts.Seed)
 	if g := r.opts.Geometry; g != nil {
 		key += fmt.Sprintf("/b%d/rb%d", g.BanksPerChannel, g.RowBufferBytes)
 	}
@@ -168,7 +174,7 @@ func (r *Runner) RunWorkload(policy sim.PolicyKind, profiles []trace.Profile, mu
 	}
 	channels := cfg.Channels
 	if channels == 0 {
-		channels = sim.ChannelsFor(len(profiles))
+		channels = sim.ProtocolChannels(cfg.Protocol, len(profiles))
 	}
 	var col *telemetry.Collector
 	if r.opts.Telemetry.Enabled() {

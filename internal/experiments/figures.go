@@ -422,7 +422,7 @@ func channelsForMix(r *Runner, cores int) int {
 	if r.opts.Channels != 0 {
 		return r.opts.Channels
 	}
-	return sim.ChannelsFor(cores)
+	return sim.ProtocolChannels(r.opts.Protocol, cores)
 }
 
 // Fig12 runs the three 16-core workloads across all policies

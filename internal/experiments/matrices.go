@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"stfm/internal/dram"
 	"stfm/internal/sim"
 	"stfm/internal/workloads"
 )
@@ -25,10 +26,21 @@ type MatrixSpec struct {
 	Mixes []workloads.Mix
 	// Policies are the schedulers each mix runs under, one column each.
 	Policies []sim.PolicyKind
+	// Protocols optionally crosses the matrix with DRAM protocol packs
+	// (one plane per pack); empty means every cell runs under the
+	// submission's own protocol (usually the DDR2-800 default).
+	Protocols []dram.Protocol
 }
 
-// Cells returns the number of (mix, policy) jobs the matrix expands to.
-func (m MatrixSpec) Cells() int { return len(m.Mixes) * len(m.Policies) }
+// Cells returns the number of (mix, policy[, protocol]) jobs the
+// matrix expands to.
+func (m MatrixSpec) Cells() int {
+	n := len(m.Mixes) * len(m.Policies)
+	if len(m.Protocols) > 0 {
+		n *= len(m.Protocols)
+	}
+	return n
+}
 
 // Matrices lists the named experiment matrices in paper order. Sweeps
 // that would expand to hundreds of cells (fig9/fig11 full grids) are
@@ -66,6 +78,17 @@ func Matrices() []MatrixSpec {
 			Title:    "Desktop application workload under the five evaluated schedulers",
 			Mixes:    []workloads.Mix{workloads.Desktop()},
 			Policies: sim.AllPolicies(),
+		},
+		{
+			ID:    "protocols",
+			Title: "Protocol sensitivity: 4-core sample workloads, FR-FCFS vs STFM, across the five DRAM timing packs",
+			// The first four sample mixes keep the expansion (4 mixes x
+			// 2 policies x 5 protocols = 40 cells) within the server's
+			// default queue capacity; the full grid remains available
+			// through cmd/stfm-sweep -knob protocol.
+			Mixes:     workloads.SampleFourCore()[:4],
+			Policies:  []sim.PolicyKind{sim.PolicyFRFCFS, sim.PolicySTFM},
+			Protocols: dram.Protocols(),
 		},
 		{
 			ID:       "followups",

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"stfm/internal/dram"
 	"stfm/internal/sim"
 )
 
@@ -21,8 +22,12 @@ func TestMatricesWellFormed(t *testing.T) {
 		if len(m.Mixes) == 0 || len(m.Policies) == 0 {
 			t.Errorf("matrix %s has no mixes or no policies", m.ID)
 		}
-		if m.Cells() != len(m.Mixes)*len(m.Policies) {
-			t.Errorf("matrix %s Cells() = %d, want %d", m.ID, m.Cells(), len(m.Mixes)*len(m.Policies))
+		want := len(m.Mixes) * len(m.Policies)
+		if len(m.Protocols) > 0 {
+			want *= len(m.Protocols)
+		}
+		if m.Cells() != want {
+			t.Errorf("matrix %s Cells() = %d, want %d", m.ID, m.Cells(), want)
 		}
 		for _, mix := range m.Mixes {
 			if len(mix.Profiles) == 0 {
@@ -30,11 +35,19 @@ func TestMatricesWellFormed(t *testing.T) {
 			}
 		}
 		// Every cell must form a valid submission: the base config
-		// with the cell's policy applied passes sim validation.
+		// with the cell's policy (and protocol plane, if any) applied
+		// passes sim validation.
+		protos := m.Protocols
+		if len(protos) == 0 {
+			protos = []dram.Protocol{""}
+		}
 		for _, pol := range m.Policies {
-			cfg := sim.DefaultConfig(pol, len(m.Mixes[0].Profiles))
-			if err := cfg.Validate(); err != nil {
-				t.Errorf("matrix %s policy %s: %v", m.ID, pol, err)
+			for _, proto := range protos {
+				cfg := sim.DefaultConfig(pol, len(m.Mixes[0].Profiles))
+				cfg.Protocol = proto
+				if err := cfg.Validate(); err != nil {
+					t.Errorf("matrix %s policy %s protocol %q: %v", m.ID, pol, proto, err)
+				}
 			}
 		}
 	}

@@ -243,6 +243,16 @@ func NewController(cfg Config, policy Policy) (*Controller, error) {
 	if err := cfg.Geometry.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	// Bank groups must tile the channel's banks exactly, or the
+	// tCCD_L/tCCD_S group classification in dram.Channel is undefined.
+	if bg := cfg.Timing.BankGroups; bg > 0 &&
+		(bg > cfg.Geometry.BanksPerChannel || cfg.Geometry.BanksPerChannel%bg != 0) {
+		return nil, fmt.Errorf("memctrl: Timing.BankGroups (%d) must evenly divide Geometry.BanksPerChannel (%d)",
+			bg, cfg.Geometry.BanksPerChannel)
+	}
 	if cfg.NumThreads <= 0 {
 		return nil, fmt.Errorf("memctrl: NumThreads must be positive, got %d", cfg.NumThreads)
 	}

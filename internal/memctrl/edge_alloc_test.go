@@ -30,6 +30,40 @@ func TestEdgePathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestEdgePathZeroAllocsBankGroups re-pins the same property with the
+// DDR4 pack active: bank groups (tCCD_L/tCCD_S spacing) and the larger
+// bank count exercise the grouped branch of CanIssue/CommandReadyAt,
+// which must stay on the allocation-free path too.
+func TestEdgePathZeroAllocsBankGroups(t *testing.T) {
+	cfg := DefaultConfig(8, 2)
+	tm, err := dram.PresetTiming(dram.DDR4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dram.PresetGeometry(dram.DDR4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Timing = tm
+	cfg.Geometry = g
+	c, err := NewController(cfg, benchFRFCFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillQueues(c, 0, 8)
+	c.Tick(0)
+	now := c.NextTickAt()
+	allocs := testing.AllocsPerRun(100, func() {
+		if now < dram.Horizon {
+			c.Tick(now)
+			now = c.NextTickAt()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("bank-grouped edge path allocates %.1f times per tick, want 0", allocs)
+	}
+}
+
 // TestCompleteFinishedDeterministicOrder is the regression test for the
 // completion-order fix: the in-flight buffer's internal order is
 // scrambled by swap-removal, so same-cycle completions must fire their

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"stfm/internal/dram"
 	"stfm/internal/experiments"
 	"stfm/internal/sim"
 )
@@ -451,5 +452,83 @@ func TestServerDrainDeadline(t *testing.T) {
 	info, _ := srv.Job(id)
 	if info.Status != StatusCanceled {
 		t.Errorf("after forced drain, job = %s, want canceled", info.Status)
+	}
+}
+
+// TestServerProtocolMatrix submits the same workload once per DRAM
+// protocol pack: every preset must be accepted, run to completion
+// through the real job pipeline, and content-address to its own cache
+// entry (pairwise-distinct fingerprints — a protocol collision would
+// silently serve DDR2 results for an HBM submission).
+func TestServerProtocolMatrix(t *testing.T) {
+	_, client := newTestServer(t, Options{Workers: 2, QueueSize: 16, SampleEvery: 500})
+	ctx := context.Background()
+	workload := []string{"mcf", "libquantum"}
+
+	seen := make(map[string]dram.Protocol)
+	for _, proto := range dram.Protocols() {
+		cfg := quickConfig(11)
+		cfg.Protocol = proto
+		sub, err := client.Submit(ctx, JobRequest{Config: cfg, Workload: workload})
+		if err != nil {
+			t.Fatalf("%s: submit: %v", proto, err)
+		}
+		info, err := client.Wait(ctx, sub.Jobs[0].ID, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s: wait: %v", proto, err)
+		}
+		if info.Status != StatusDone {
+			t.Fatalf("%s: job finished as %s (error %q), want done", proto, info.Status, info.Error)
+		}
+		if prev, dup := seen[info.Fingerprint]; dup {
+			t.Errorf("protocols %s and %s share fingerprint %s", prev, proto, info.Fingerprint)
+		}
+		seen[info.Fingerprint] = proto
+		rr, err := client.Result(ctx, info.ID)
+		if err != nil {
+			t.Fatalf("%s: result: %v", proto, err)
+		}
+		if rr.Result == nil || len(rr.Result.Threads) != len(workload) {
+			t.Errorf("%s: served result malformed: %+v", proto, rr.Result)
+		}
+	}
+}
+
+// TestServerProtocolMatrixExpansion submits the named "protocols"
+// matrix and checks the protocol plane multiplies the job grid: every
+// (mix, policy, protocol) cell becomes its own job with its own
+// fingerprint, atomically accepted.
+func TestServerProtocolMatrixExpansion(t *testing.T) {
+	_, client := newTestServer(t, Options{Workers: runtime.GOMAXPROCS(0), QueueSize: 64, SampleEvery: 500})
+	ctx := context.Background()
+
+	m, err := experiments.MatrixByID("protocols")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(43)
+	cfg.InstrTarget = 2_000
+	sub, err := client.Submit(ctx, JobRequest{Config: cfg, Matrix: "protocols"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Jobs) != m.Cells() {
+		t.Fatalf("protocols matrix created %d jobs, want %d cells", len(sub.Jobs), m.Cells())
+	}
+	fps := make(map[string]bool)
+	for _, j := range sub.Jobs {
+		fps[j.Fingerprint] = true
+	}
+	if len(fps) != m.Cells() {
+		t.Errorf("protocols matrix jobs share fingerprints: %d distinct, want %d", len(fps), m.Cells())
+	}
+	for _, j := range sub.Jobs {
+		info, err := client.Wait(ctx, j.ID, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Status != StatusDone {
+			t.Fatalf("cell %s finished as %s (error %q), want done", j.ID, info.Status, info.Error)
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"stfm/internal/dram"
 	"stfm/internal/experiments"
 	"stfm/internal/memctrl"
 	"stfm/internal/sim"
@@ -195,6 +196,12 @@ func (s *Server) expand(req JobRequest) ([]*job, error) {
 	if err != nil {
 		return nil, &RequestError{Err: err}
 	}
+	// A matrix without a protocol plane expands under the submission's
+	// own protocol — the sentinel empty entry keeps the loop uniform.
+	protos := spec.Protocols
+	if len(protos) == 0 {
+		protos = []dram.Protocol{""}
+	}
 	var cells []*job
 	for _, mix := range spec.Mixes {
 		names := make([]string, len(mix.Profiles))
@@ -202,13 +209,22 @@ func (s *Server) expand(req JobRequest) ([]*job, error) {
 			names[i] = p.Name
 		}
 		for _, pol := range spec.Policies {
-			cfg := req.Config
-			cfg.Policy = pol
-			j, err := s.newJob(cfg, names, req.TimeoutMS)
-			if err != nil {
-				return nil, fmt.Errorf("matrix %s cell %s/%s: %w", spec.ID, mix.Name, pol, err)
+			for _, proto := range protos {
+				cfg := req.Config
+				cfg.Policy = pol
+				if proto != "" {
+					cfg.Protocol = proto
+				}
+				j, err := s.newJob(cfg, names, req.TimeoutMS)
+				if err != nil {
+					cell := fmt.Sprintf("%s/%s", mix.Name, pol)
+					if proto != "" {
+						cell += "/" + string(proto)
+					}
+					return nil, fmt.Errorf("matrix %s cell %s: %w", spec.ID, cell, err)
+				}
+				cells = append(cells, j)
 			}
-			cells = append(cells, j)
 		}
 	}
 	return cells, nil

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"stfm/internal/dram"
 )
 
 // fingerprintSkip lists Config fields excluded from Fingerprint: the
@@ -17,12 +19,19 @@ import (
 // and the equivalence tests pin the schedules bit-identical. Excluding
 // them lets a checked or densely-ticked run share a cache entry with
 // the plain run it is guaranteed to match.
+//
+// Protocol is skipped here only to be encoded explicitly by
+// Fingerprint itself: the empty value and DDR2 (bit-identical
+// configurations, since the DDR2 pack IS the default timing/geometry)
+// must share the historical digest, while every other protocol gets
+// its own.
 var fingerprintSkip = map[string]bool{
 	"Streams":         true,
 	"Telemetry":       true,
 	"DenseTick":       true,
 	"WatchdogCycles":  true,
 	"CheckInvariants": true,
+	"Protocol":        true,
 }
 
 // Fingerprint returns a canonical, field-order-independent SHA-256 hash
@@ -40,6 +49,13 @@ var fingerprintSkip = map[string]bool{
 // fingerprintSkip for the other exclusions.
 func (cfg Config) Fingerprint() string {
 	var b strings.Builder
+	// Protocol is encoded only when it selects a non-baseline pack:
+	// empty and DDR2 produce identical simulations (NewSystem seeds the
+	// same timing and geometry either way), so both hash to the
+	// pre-protocol digest and keep old cache entries addressable.
+	if cfg.Protocol != "" && cfg.Protocol != dram.DDR2 {
+		fmt.Fprintf(&b, "Protocol=%q\n", cfg.Protocol)
+	}
 	writeCanonical(&b, "", reflect.ValueOf(cfg), fingerprintSkip)
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])

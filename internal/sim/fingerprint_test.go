@@ -48,6 +48,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"UseCaches":    func(c *Config) { c.UseCaches = true },
 		"Geometry":     func(c *Config) { g := dram.DefaultGeometry(1); c.Geometry = &g },
 		"Timing":       func(c *Config) { tm := dram.DefaultTiming(); tm.CL = 7; c.Timing = &tm },
+		"Protocol":     func(c *Config) { c.Protocol = dram.DDR4 },
 	}
 	for name, mutate := range mutations {
 		cfg := base
@@ -92,6 +93,30 @@ func TestFingerprintCoversAllFields(t *testing.T) {
 	withGeom.Geometry = &g
 	if withGeom.Fingerprint() == defaultConfigDigest {
 		t.Error("explicit zero Geometry fingerprints identically to nil Geometry")
+	}
+}
+
+// TestFingerprintProtocolDistinct: each non-baseline protocol must
+// yield its own digest (they select different memory systems), while ""
+// and an explicit DDR2 — bit-identical configurations — share the
+// pinned baseline digest, so cache entries written before the Protocol
+// field existed stay addressable.
+func TestFingerprintProtocolDistinct(t *testing.T) {
+	digests := make(map[string]dram.Protocol)
+	for _, p := range dram.Protocols() {
+		cfg := DefaultConfig(PolicySTFM, 4)
+		cfg.Protocol = p
+		d := cfg.Fingerprint()
+		if prev, dup := digests[d]; dup {
+			t.Errorf("protocols %s and %s share fingerprint %s", prev, p, d)
+		}
+		digests[d] = p
+		if p == dram.DDR2 && d != defaultConfigDigest {
+			t.Errorf("explicit DDR2 fingerprint %s != pinned baseline %s", d, defaultConfigDigest)
+		}
+		if p != dram.DDR2 && d == defaultConfigDigest {
+			t.Errorf("protocol %s fingerprints identically to the baseline", p)
+		}
 	}
 }
 

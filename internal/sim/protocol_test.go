@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"stfm/internal/dram"
+)
+
+// TestProtocolChannels: protocol-aware channel provisioning keeps the
+// paper's cores->channels curve except for HBM, whose stacked
+// interface doubles it.
+func TestProtocolChannels(t *testing.T) {
+	for _, p := range []dram.Protocol{"", dram.DDR2, dram.DDR4, dram.GDDR5} {
+		for cores, want := range map[int]int{2: 1, 8: 2, 16: 4} {
+			if got := ProtocolChannels(p, cores); got != want {
+				t.Errorf("ProtocolChannels(%q, %d) = %d, want %d", p, cores, got, want)
+			}
+		}
+	}
+	for cores, want := range map[int]int{2: 2, 8: 4, 16: 8} {
+		if got := ProtocolChannels(dram.HBM, cores); got != want {
+			t.Errorf("ProtocolChannels(HBM, %d) = %d, want %d", cores, got, want)
+		}
+	}
+}
+
+// TestProtocolsRunEndToEnd: every protocol pack must carry a workload
+// to completion (no truncation, no stall) — the packs are usable
+// memory systems, not just parameter sets that pass Validate.
+func TestProtocolsRunEndToEnd(t *testing.T) {
+	profs := profilesByName(t, "mcf", "libquantum")
+	for _, p := range dram.Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(PolicySTFM, 2)
+			cfg.InstrTarget = 30_000
+			cfg.Protocol = p
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			res, err := Run(cfg, profs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, th := range res.Threads {
+				if th.Truncated {
+					t.Errorf("%s truncated under %s", th.Benchmark, p)
+				}
+				if th.IPC <= 0 {
+					t.Errorf("%s IPC %f under %s, want > 0", th.Benchmark, th.IPC, p)
+				}
+			}
+		})
+	}
+}
+
+// TestProtocolDDR2MatchesBaseline: Protocol "DDR2" and the empty
+// default select the same memory system, so the results must be
+// bit-identical — the property that lets the fingerprint alias them.
+func TestProtocolDDR2MatchesBaseline(t *testing.T) {
+	profs := profilesByName(t, "mcf", "libquantum")
+	base := DefaultConfig(PolicySTFM, 2)
+	base.InstrTarget = 30_000
+	got, err := Run(base, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddr2 := base
+	ddr2.Protocol = dram.DDR2
+	want, err := Run(ddr2, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("explicit DDR2 results differ from default:\n%+v\nvs\n%+v", want, got)
+	}
+}
+
+// TestProtocolExplicitOverridesWin: a caller-supplied Geometry/Timing
+// still beats the protocol pack, preserving the pre-protocol contract
+// for tools that hand-tune one knob.
+func TestProtocolExplicitOverridesWin(t *testing.T) {
+	profs := profilesByName(t, "mcf", "libquantum")
+	cfg := DefaultConfig(PolicySTFM, 2)
+	cfg.InstrTarget = 20_000
+	cfg.Protocol = dram.DDR4
+	g := dram.DefaultGeometry(1) // DDR2-shaped: 8 banks, overrides DDR4's 16
+	cfg.Geometry = &g
+	tm := dram.DefaultTiming()
+	cfg.Timing = &tm
+	sys, err := NewSystem(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := sys.Controller().Config()
+	if mcfg.Geometry.BanksPerChannel != g.BanksPerChannel {
+		t.Errorf("explicit Geometry lost to the protocol pack: %d banks, want %d",
+			mcfg.Geometry.BanksPerChannel, g.BanksPerChannel)
+	}
+	if mcfg.Timing.BankGroups != 0 {
+		t.Errorf("explicit Timing lost to the protocol pack: BankGroups = %d, want 0", mcfg.Timing.BankGroups)
+	}
+}
+
+// TestPerBankRefreshEndToEnd: a per-bank-refresh pack (HBM) with
+// refresh enabled must actually refresh during a run and still finish.
+func TestPerBankRefreshEndToEnd(t *testing.T) {
+	profs := profilesByName(t, "mcf", "libquantum")
+	tm, err := dram.PresetTiming(dram.HBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm = tm.WithRefresh()
+	if !tm.RefreshPerBank {
+		t.Fatal("HBM refresh pack should be per-bank")
+	}
+	cfg := DefaultConfig(PolicySTFM, 2)
+	cfg.InstrTarget = 30_000
+	cfg.Protocol = dram.HBM
+	cfg.Timing = &tm
+	sys, err := NewSystem(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range res.Threads {
+		if th.Truncated {
+			t.Fatalf("%s truncated with per-bank refresh", th.Benchmark)
+		}
+	}
+	var refreshes int64
+	for i := 0; i < sys.Controller().Config().Geometry.Channels; i++ {
+		refreshes += sys.Controller().Channel(i).Stats().Refreshes
+	}
+	if refreshes == 0 {
+		t.Error("per-bank refresh enabled but no refreshes recorded")
+	}
+}

@@ -60,9 +60,16 @@ func ExtendedPolicies() []PolicyKind {
 type Config struct {
 	// Policy selects the DRAM scheduler.
 	Policy PolicyKind `json:"policy"`
+	// Protocol selects a named DRAM timing/geometry pack (DDR2, DDR3,
+	// DDR4, GDDR5, HBM — see dram.PresetTiming). Empty means the
+	// paper's DDR2-800 baseline; explicit Geometry/Timing overrides
+	// below still win over the preset. Because the DDR2 pack IS the
+	// baseline, selecting it is bit-identical to selecting nothing.
+	// HBM doubles the channel auto-scaling (ProtocolChannels).
+	Protocol dram.Protocol `json:"protocol,omitempty"`
 	// Channels is the number of DRAM channels; 0 auto-scales with the
 	// core count as in the paper's Table 2 (1, 1, 2, 4 channels for
-	// up to 2, 4, 8, 16 cores).
+	// up to 2, 4, 8, 16 cores), doubled under the HBM protocol.
 	Channels int `json:"channels"`
 	// Geometry, if non-nil, overrides the default DRAM organization
 	// (Table 5 sensitivity studies change banks and row-buffer size).
@@ -178,6 +185,18 @@ func ChannelsFor(cores int) int {
 	}
 }
 
+// ProtocolChannels returns the channel auto-scaling for a protocol and
+// core count: the paper's core-count scaling (ChannelsFor), doubled
+// under HBM, whose stacks expose many narrow channels — the protocol's
+// bandwidth comes from channel count, not per-channel burst rate.
+func ProtocolChannels(p dram.Protocol, cores int) int {
+	ch := ChannelsFor(cores)
+	if p == dram.HBM {
+		ch *= 2
+	}
+	return ch
+}
+
 // ThreadResult holds one thread's measured performance, frozen when it
 // reached the instruction target.
 //
@@ -273,9 +292,23 @@ func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
 	}
 	channels := cfg.Channels
 	if channels == 0 {
-		channels = ChannelsFor(n)
+		channels = ProtocolChannels(cfg.Protocol, n)
 	}
 	mcfg := memctrl.DefaultConfig(n, channels)
+	if cfg.Protocol != "" {
+		// Seed the memory system from the protocol pack; explicit
+		// Geometry/Timing overrides below still replace it.
+		tm, err := dram.PresetTiming(cfg.Protocol)
+		if err != nil {
+			return nil, err
+		}
+		g, err := dram.PresetGeometry(cfg.Protocol, channels)
+		if err != nil {
+			return nil, err
+		}
+		mcfg.Timing = tm
+		mcfg.Geometry = g
+	}
 	if cfg.Geometry != nil {
 		g := *cfg.Geometry
 		g.Channels = channels

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"stfm/internal/dram"
 )
 
 // ConfigError reports one invalid Config field. Validate joins one
@@ -42,6 +44,9 @@ func (cfg Config) Validate() error {
 	case "", PolicyFRFCFS, PolicyFCFS, PolicyFRFCFSCap, PolicyNFQ, PolicySTFM, PolicyPARBS, PolicyTCM:
 	default:
 		bad("Policy", "unknown policy %q", cfg.Policy)
+	}
+	if cfg.Protocol != "" && !cfg.Protocol.Known() {
+		bad("Protocol", "unknown protocol %q (known: %v)", cfg.Protocol, dram.Protocols())
 	}
 	if cfg.Channels < 0 {
 		bad("Channels", "must be non-negative, got %d", cfg.Channels)

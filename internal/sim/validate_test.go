@@ -44,6 +44,7 @@ func TestValidateRejections(t *testing.T) {
 		field string
 	}{
 		{"unknown policy", mut(func(c *Config) { c.Policy = "LRU" }), "Policy"},
+		{"unknown protocol", mut(func(c *Config) { c.Protocol = "DDR9" }), "Protocol"},
 		{"negative channels", mut(func(c *Config) { c.Channels = -1 }), "Channels"},
 		{"negative instr target", mut(func(c *Config) { c.InstrTarget = -5 }), "InstrTarget"},
 		{"negative min misses", mut(func(c *Config) { c.MinMisses = -1 }), "MinMisses"},
