@@ -11,16 +11,21 @@
 //
 // A second mode, -suite sched, runs the scheduler-hot-path suite
 // behind the indexed-scheduler-state PR: the 8- and 16-core STFM mixes
-// whose event-driven wall clock the optimization targets, compared
+// whose event-driven wall clock the optimization targets (plus the
+// HBM 8-channel mix the channel-parallel engine targets), compared
 // against the per-mix timings recorded at the pre-optimization baseline
-// commit and written to BENCH_sched.json.
+// commit and written to BENCH_sched.json. Since the channel-parallel
+// engine landed the suite also times each mix with parallel stepping
+// (serial and parallel columns per mix) and re-verifies the parallel
+// schedule is bit-identical; wall-clock speedup scales with real CPUs,
+// so the report records GOMAXPROCS alongside the timings.
 //
 // Usage:
 //
 //	stfm-bench [-mix mcf,h264ref] [-policy FR-FCFS] [-instrs 100000] \
 //	           [-minmisses 150] [-repeat 3] [-sample-every 1000] \
-//	           [-trace-out trace.json] [-o BENCH_stepping.json]
-//	stfm-bench -suite sched [-repeat 3] [-o BENCH_sched.json]
+//	           [-parallel N] [-trace-out trace.json] [-o BENCH_stepping.json]
+//	stfm-bench -suite sched [-repeat 3] [-parallel N] [-o BENCH_sched.json]
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"reflect"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -83,6 +89,7 @@ func main() {
 	repeat := flag.Int("repeat", 3, "timed repetitions per mode (best is reported)")
 	out := flag.String("o", "BENCH_stepping.json", "output JSON path")
 	sampleEvery := flag.Int64("sample-every", 1000, "telemetry sampling interval in DRAM cycles for the overhead run")
+	parallelFlag := flag.Int("parallel", 0, "channel-parallel stepping workers (single-mix: 0/1 = serial, -1 = one per CPU; sched suite: worker budget for the parallel column, 0 = one per CPU)")
 	traceOut := flag.String("trace-out", "", "write the telemetered run's event ring as a Chrome trace")
 	suite := flag.String("suite", "", `named suite to run instead of a single mix ("sched")`)
 	flag.Parse()
@@ -98,7 +105,7 @@ func main() {
 		if path == "BENCH_stepping.json" {
 			path = "BENCH_sched.json"
 		}
-		runSchedSuite(ctx, stop, *repeat, path)
+		runSchedSuite(ctx, stop, *repeat, *parallelFlag, path)
 		return
 	case "":
 	default:
@@ -118,6 +125,10 @@ func main() {
 	}
 	cfg.InstrTarget = *instrs
 	cfg.MinMisses = *minMisses
+	// Schedule-neutral: the dense run ignores Parallel (dense ticking is
+	// the serial oracle), so the bit-exactness check still compares the
+	// parallel event engine against an independent serial schedule.
+	cfg.Parallel = *parallelFlag
 
 	run := func(dense, tel bool) (*sim.Result, *telemetry.Collector, time.Duration) {
 		best := time.Duration(1<<63 - 1)
@@ -210,58 +221,97 @@ func main() {
 // wall clock as a ratio against these numbers.
 const schedSuiteCommit = "2d9d139"
 
-// schedMix is one timed workload of the sched suite.
+// schedMix is one timed workload of the sched suite: the serial
+// event-driven column, the channel-parallel column, and the dense run
+// that re-verifies bit-exactness of both.
 type schedMix struct {
 	Name              string         `json:"name"`
 	Mix               []string       `json:"mix"`
 	Policy            sim.PolicyKind `json:"policy"`
+	Protocol          dram.Protocol  `json:"protocol,omitempty"`
+	Channels          int            `json:"channels"`
 	Instrs            int64          `json:"instr_target"`
 	Cycles            int64          `json:"cycles_simulated"`
 	DenseNs           int64          `json:"dense_ns"`
 	EventNs           int64          `json:"event_ns"`
 	EventCyclesPerSec float64        `json:"event_cycles_per_sec"`
 	ResultsIdentical  bool           `json:"results_identical"`
-	BaselineEventNs   int64          `json:"baseline_event_ns"`
-	SpeedupVsBaseline float64        `json:"speedup_vs_baseline"`
+	// Channel-parallel stepping column (DESIGN.md §16): the same mix
+	// re-timed with ParallelWorkers stepping workers. ParallelSpeedup is
+	// serial event_ns / parallel_ns; it approaches the channel count
+	// only when GOMAXPROCS provides that many real CPUs, and sits near
+	// 1.0x on a single-CPU host — which is why ParallelIdentical (the
+	// schedule, not the wall clock) is the gating column.
+	ParallelWorkers      int     `json:"parallel_workers"`
+	ParallelNs           int64   `json:"parallel_ns"`
+	ParallelCyclesPerSec float64 `json:"parallel_cycles_per_sec"`
+	ParallelSpeedup      float64 `json:"parallel_speedup"`
+	ParallelIdentical    bool    `json:"parallel_results_identical"`
+	// BaselineEventNs is 0 for mixes added after the baseline commit
+	// (no recorded pre-optimization timing); SpeedupVsBaseline is then 0.
+	BaselineEventNs   int64   `json:"baseline_event_ns"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
 }
 
 type schedReport struct {
-	Suite          string     `json:"suite"`
-	BaselineCommit string     `json:"baseline_commit"`
-	Mixes          []schedMix `json:"mixes"`
+	Suite          string `json:"suite"`
+	BaselineCommit string `json:"baseline_commit"`
+	// GOMAXPROCS records the CPU budget the parallel columns ran under:
+	// parallel_speedup from hosts with different CPU counts is not
+	// comparable, while every other column (and every Result) is.
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Mixes      []schedMix `json:"mixes"`
 }
 
 // runSchedSuite times the scheduler-hot-path workloads: STFM (the
 // policy that keeps the controller awake every DRAM edge, so the
-// per-edge scheduling cost dominates) on an 8-core 2-channel mix and
-// on the 16-core 4-channel high8+low8 mix. Each mix also runs densely
-// once to re-verify bit-exactness of the event engine on the exact
-// workloads the optimization is sold on.
-func runSchedSuite(ctx context.Context, stop context.CancelFunc, repeat int, out string) {
+// per-edge scheduling cost dominates) on an 8-core 2-channel mix, the
+// 16-core 4-channel high8+low8 mix, and the same 16-core mix under the
+// HBM pack's 8 channels (the widest parallel fan-out a preset offers).
+// Each mix runs densely once to re-verify bit-exactness of the event
+// engine, then serial-event and parallel-event timed columns; the
+// parallel Result must DeepEqual the serial one. parallel <= 0 sizes
+// the parallel column's worker budget to one per CPU.
+func runSchedSuite(ctx context.Context, stop context.CancelFunc, repeat, parallel int, out string) {
 	eight, err := experiments.Profiles("mcf", "h264ref", "bzip2", "gromacs", "gobmk", "dealII", "wrf", "namd")
 	if err != nil {
 		fatal(err)
+	}
+	if parallel <= 0 {
+		parallel = -1 // auto: one worker per CPU, clamped to channels
 	}
 	sixteen := workloads.SixteenCoreMixes()[1] // high8+low8
 	cases := []struct {
 		name            string
 		profiles        []trace.Profile
+		protocol        dram.Protocol
 		baselineEventNs int64
 	}{
-		{"8core-2ch", eight, 229_843_963},
-		{"16core-4ch-high8+low8", sixteen.Profiles, 884_328_817},
+		{"8core-2ch", eight, "", 229_843_963},
+		{"16core-4ch-high8+low8", sixteen.Profiles, "", 884_328_817},
+		// Added with the channel-parallel engine; no baseline timing
+		// exists at the pre-optimization commit.
+		{"16core-HBM-8ch-high8+low8", sixteen.Profiles, dram.HBM, 0},
 	}
-	rep := schedReport{Suite: "sched", BaselineCommit: schedSuiteCommit}
+	rep := schedReport{Suite: "sched", BaselineCommit: schedSuiteCommit, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, tc := range cases {
 		cfg := sim.DefaultConfig(sim.PolicySTFM, len(tc.profiles))
 		cfg.InstrTarget = 60_000
 		cfg.MinMisses = 100
-		timed := func(dense bool) (*sim.Result, time.Duration) {
+		cfg.Protocol = tc.protocol
+		channels := cfg.Channels
+		if tc.protocol != "" {
+			// Let the protocol's channel scaling apply (HBM doubles it).
+			channels = sim.ProtocolChannels(tc.protocol, len(tc.profiles))
+			cfg.Channels = channels
+		}
+		timed := func(dense bool, par int) (*sim.Result, time.Duration) {
 			best := time.Duration(1<<63 - 1)
 			var res *sim.Result
 			for i := 0; i < repeat; i++ {
 				c := cfg
 				c.DenseTick = dense
+				c.Parallel = par
 				start := time.Now()
 				r, err := sim.RunContext(ctx, c, tc.profiles)
 				if err != nil {
@@ -279,8 +329,16 @@ func runSchedSuite(ctx context.Context, stop context.CancelFunc, repeat int, out
 			}
 			return res, best
 		}
-		denseRes, denseT := timed(true)
-		eventRes, eventT := timed(false)
+		denseRes, denseT := timed(true, 0)
+		eventRes, eventT := timed(false, 0)
+		parRes, parT := timed(false, parallel)
+		workers := parallel
+		if workers < 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > channels {
+			workers = channels
+		}
 		names := make([]string, len(tc.profiles))
 		for i, p := range tc.profiles {
 			names[i] = p.Name
@@ -289,20 +347,35 @@ func runSchedSuite(ctx context.Context, stop context.CancelFunc, repeat int, out
 			Name:              tc.name,
 			Mix:               names,
 			Policy:            cfg.Policy,
+			Protocol:          tc.protocol,
+			Channels:          channels,
 			Instrs:            cfg.InstrTarget,
 			Cycles:            eventRes.TotalCycles,
 			DenseNs:           denseT.Nanoseconds(),
 			EventNs:           eventT.Nanoseconds(),
 			EventCyclesPerSec: float64(eventRes.TotalCycles) / eventT.Seconds(),
 			ResultsIdentical:  reflect.DeepEqual(denseRes, eventRes),
-			BaselineEventNs:   tc.baselineEventNs,
-			SpeedupVsBaseline: float64(tc.baselineEventNs) / float64(eventT.Nanoseconds()),
+
+			ParallelWorkers:      workers,
+			ParallelNs:           parT.Nanoseconds(),
+			ParallelCyclesPerSec: float64(parRes.TotalCycles) / parT.Seconds(),
+			ParallelSpeedup:      eventT.Seconds() / parT.Seconds(),
+			ParallelIdentical:    reflect.DeepEqual(eventRes, parRes),
+
+			BaselineEventNs: tc.baselineEventNs,
+		}
+		if tc.baselineEventNs > 0 {
+			m.SpeedupVsBaseline = float64(tc.baselineEventNs) / float64(eventT.Nanoseconds())
 		}
 		rep.Mixes = append(rep.Mixes, m)
-		fmt.Printf("%s: event %v (%.2fx vs baseline @%s), dense %v, %d cycles, identical=%v\n",
-			m.Name, eventT, m.SpeedupVsBaseline, schedSuiteCommit, denseT, m.Cycles, m.ResultsIdentical)
+		fmt.Printf("%s: event %v (%.2fx vs baseline @%s), parallel %v (%.2fx, %d workers), dense %v, %d cycles, identical=%v/%v\n",
+			m.Name, eventT, m.SpeedupVsBaseline, schedSuiteCommit, parT, m.ParallelSpeedup, m.ParallelWorkers,
+			denseT, m.Cycles, m.ResultsIdentical, m.ParallelIdentical)
 		if !m.ResultsIdentical {
 			fatal(fmt.Errorf("%s: dense and event-driven results diverged", m.Name))
+		}
+		if !m.ParallelIdentical {
+			fatal(fmt.Errorf("%s: channel-parallel stepping diverged from the serial schedule", m.Name))
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

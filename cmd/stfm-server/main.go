@@ -45,6 +45,7 @@ func main() {
 		queueSize    = flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
 		cacheDir     = flag.String("cache-dir", "", "directory for the result cache's disk spill (empty = memory only)")
 		sampleEvery  = flag.Int64("sample-every", 5000, "progress sampling interval in DRAM cycles")
+		jobParallel  = flag.Int("job-parallel", 0, "cap on each job's channel-parallel stepping workers (0 = CPUs divided by -workers, negative = uncapped; results are bit-identical either way)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	)
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 		QueueSize:   *queueSize,
 		CacheDir:    *cacheDir,
 		SampleEvery: *sampleEvery,
+		JobParallel: *jobParallel,
 		Logf:        logger.Printf,
 	})
 	if err != nil {

@@ -41,6 +41,7 @@ func main() {
 		policies = flag.String("policies", "", `schedulers to include, or "all" for every implemented policy including the PAR-BS and TCM extensions (default depends on knob)`)
 		instrs   = flag.Int64("instrs", 200_000, "per-thread instruction budget")
 		seed     = flag.Uint64("seed", 1, "trace seed")
+		parallel = flag.Int("parallel", 0, "channel-parallel stepping workers per run (0/1 = serial, -1 = one per CPU; results are bit-identical)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and periodic runtime metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -52,6 +53,7 @@ func main() {
 	defer stop()
 	runCtx = ctx
 	protoPack = dram.Protocol(*protocol)
+	parWorkers = *parallel
 	if protoPack != "" && !protoPack.Known() {
 		fmt.Fprintf(os.Stderr, "stfm-sweep: unknown protocol %q (known: %v)\n", protoPack, dram.Protocols())
 		os.Exit(1)
@@ -112,12 +114,16 @@ func main() {
 var (
 	runCtx    = context.Background()
 	protoPack dram.Protocol
+	// parWorkers is the -parallel flag: the stepping-engine worker
+	// budget every sweep simulation runs with (schedule-neutral).
+	parWorkers int
 )
 
 func runner(instrs int64, seed uint64, geom *dram.Geometry, channels int) *experiments.Runner {
 	return experiments.NewRunnerContext(runCtx, experiments.Options{
 		InstrTarget: instrs, MinMisses: 150, Seed: seed,
 		Protocol: protoPack, Geometry: geom, Channels: channels,
+		Parallel: parWorkers,
 	})
 }
 
@@ -134,6 +140,7 @@ func sweepProtocol(names []string, instrs int64, seed uint64, pols []sim.PolicyK
 	for _, p := range dram.Protocols() {
 		r := experiments.NewRunnerContext(runCtx, experiments.Options{
 			InstrTarget: instrs, MinMisses: 150, Seed: seed, Protocol: p,
+			Parallel: parWorkers,
 		})
 		for _, pol := range pols {
 			wr, err := r.RunWorkload(pol, profs, nil)

@@ -1,0 +1,25 @@
+package dram
+
+import "testing"
+
+// TestChannelExclusivityGuard pins the confinement assertion the
+// parallel stepping engine leans on: one goroutine may hold a channel's
+// step exclusivity at a time, re-acquisition panics (that panic is the
+// detection mechanism for a cross-channel mutation bug), and release
+// makes the channel acquirable again.
+func TestChannelExclusivityGuard(t *testing.T) {
+	c := NewChannel(4, DefaultTiming())
+	c.BeginExclusive()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second BeginExclusive did not panic")
+			}
+		}()
+		c.BeginExclusive()
+	}()
+	c.EndExclusive()
+	// After release, acquisition must succeed again.
+	c.BeginExclusive()
+	c.EndExclusive()
+}

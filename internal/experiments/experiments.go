@@ -39,6 +39,12 @@ type Options struct {
 	// Geometry / Timing override the DRAM organization (Table 5).
 	Geometry *dram.Geometry
 	Timing   *dram.Timing
+	// Parallel selects the channel-parallel stepping engine for every
+	// run (sim.Config.Parallel): 0/1 serial, negative auto-sized to
+	// GOMAXPROCS. Schedule-neutral — results and alone baselines are
+	// bit-identical either way (DESIGN.md §16) — so it does not enter
+	// aloneKey.
+	Parallel int
 	// Telemetry, when enabled, attaches a fresh telemetry.Collector to
 	// every shared workload run (alone-run baselines stay untelemetered,
 	// since their only purpose is the Talone denominator of Section 6.2).
@@ -106,6 +112,7 @@ func (r *Runner) baseConfig(policy sim.PolicyKind, cores int) sim.Config {
 	cfg.Channels = r.opts.Channels
 	cfg.Geometry = r.opts.Geometry
 	cfg.Timing = r.opts.Timing
+	cfg.Parallel = r.opts.Parallel
 	return cfg
 }
 

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"stfm/internal/dram"
+	"stfm/internal/sim"
+	"stfm/internal/telemetry"
+)
+
+// These tests pin the channel-parallel stepping engine's core contract
+// (DESIGN.md §16): Config.Parallel changes how an edge is computed —
+// never what it computes. Every run below must be bit-identical to its
+// serial twin, because phase B commits decisions serially in channel
+// order and re-arbitrates any channel whose cross-channel inputs moved.
+
+// parallelTwinRun executes cfg serially and in parallel (worker budget
+// pinned above the channel count so the parallel path engages even on a
+// single-CPU host) and fails the test unless the Results are
+// DeepEqual. It returns the serial result for further assertions.
+func parallelTwinRun(t *testing.T, cfg sim.Config, names []string) *sim.Result {
+	t.Helper()
+	profiles, err := Profiles(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 0
+	serial, err := sim.Run(cfg, profiles)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	cfg.Parallel = 16
+	par, err := sim.Run(cfg, profiles)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("serial and parallel results diverge\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+	return serial
+}
+
+// TestParallelEquivalence runs every implemented scheduler on a
+// multi-channel mix three ways — dense, event-serial, event-parallel —
+// and requires all three Results to match. The write-heavy GemsFDTD
+// stream matters here: write-drain hysteresis is the global coupling
+// the parallel engine must revalidate per channel in phase B, and a
+// missed revalidation diverges on exactly this kind of mix.
+func TestParallelEquivalence(t *testing.T) {
+	t.Parallel()
+	mix := []string{"mcf", "libquantum", "GemsFDTD", "astar"}
+	for _, pol := range sim.ExtendedPolicies() {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			t.Parallel()
+			profiles, err := Profiles(mix...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := sim.DefaultConfig(pol, len(profiles))
+			cfg.InstrTarget = 12_000
+			cfg.MinMisses = 30
+
+			cfg.DenseTick = true
+			dense, err := sim.Run(cfg, profiles)
+			if err != nil {
+				t.Fatalf("dense run: %v", err)
+			}
+			cfg.DenseTick = false
+			event := parallelTwinRun(t, cfg, mix)
+			if !reflect.DeepEqual(dense, event) {
+				t.Errorf("dense and event results diverge\ndense: %+v\nevent: %+v", dense, event)
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceProtocols extends the serial-vs-parallel
+// differential across all five protocol packs × every implemented
+// scheduler, with refresh enabled on the per-bank packs (refresh is the
+// one channel mutation phase A performs before arbitrating, so it must
+// be covered). The full matrix is the PR's acceptance gate; -short
+// keeps a single pack per refresh mode.
+func TestParallelEquivalenceProtocols(t *testing.T) {
+	t.Parallel()
+	mix := []string{"mcf", "libquantum", "GemsFDTD", "astar"}
+	protos := []dram.Protocol{dram.DDR2, dram.DDR3, dram.DDR4, dram.GDDR5, dram.HBM}
+	if testing.Short() {
+		protos = []dram.Protocol{dram.HBM}
+	}
+	for _, proto := range protos {
+		for _, pol := range sim.ExtendedPolicies() {
+			proto, pol := proto, pol
+			t.Run(string(proto)+"/"+string(pol), func(t *testing.T) {
+				t.Parallel()
+				cfg := sim.DefaultConfig(pol, len(mix))
+				cfg.Protocol = proto
+				cfg.InstrTarget = 8_000
+				cfg.MinMisses = 30
+				parallelTwinRun(t, cfg, mix)
+			})
+		}
+	}
+}
+
+// TestParallelEquivalenceRefresh covers the refresh-in-phase-A path:
+// HBM's rotating per-bank refresh makes channels active on refresh
+// deadlines even when their queues are quiet, which is the decSkip
+// branch of the parallel engine.
+func TestParallelEquivalenceRefresh(t *testing.T) {
+	t.Parallel()
+	tm, err := dram.PresetTiming(dram.HBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm = tm.WithRefresh()
+	cfg := sim.DefaultConfig(sim.PolicySTFM, 2)
+	cfg.Protocol = dram.HBM
+	cfg.Timing = &tm
+	cfg.InstrTarget = 8_000
+	cfg.MinMisses = 30
+	parallelTwinRun(t, cfg, []string{"mcf", "libquantum"})
+}
+
+// TestParallelEquivalenceGOMAXPROCS pins that the schedule is
+// independent of how many CPUs the Go scheduler actually grants: under
+// GOMAXPROCS=1 the Tick goroutine steals every phase-A task itself
+// (the workers never run), and under GOMAXPROCS=NumCPU the work
+// spreads, but phase B's serial commit makes both produce the serial
+// Result bit for bit. Not t.Parallel: it flips a process-global knob.
+func TestParallelEquivalenceGOMAXPROCS(t *testing.T) {
+	mix := []string{"mcf", "libquantum", "GemsFDTD", "astar"}
+	profiles, err := Profiles(mix...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(sim.PolicySTFM, len(profiles))
+	cfg.InstrTarget = 12_000
+	cfg.MinMisses = 30
+	serial, err := sim.Run(cfg, profiles)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("GOMAXPROCS=%d", procs), func(t *testing.T) {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			pcfg := cfg
+			pcfg.Parallel = -1 // auto: size the pool to GOMAXPROCS
+			par, err := sim.Run(pcfg, profiles)
+			if err != nil {
+				t.Fatalf("parallel run (GOMAXPROCS=%d): %v", procs, err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("GOMAXPROCS=%d parallel result diverges from serial\nserial:   %+v\nparallel: %+v",
+					procs, serial, par)
+			}
+		})
+	}
+}
+
+// TestParallelTelemetryEquivalence requires the parallel engine to
+// capture the *same telemetry* as the serial one, not just the same
+// Result: identical interval samples and an identical event ring.
+// Tracer records happen only in phase B's serial commit, so event
+// order — including priority-inversion marks — must survive the
+// engine swap exactly.
+func TestParallelTelemetryEquivalence(t *testing.T) {
+	t.Parallel()
+	profiles, err := Profiles("mcf", "h264ref", "GemsFDTD", "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.DefaultConfig(sim.PolicySTFM, len(profiles))
+	base.InstrTarget = 15_000
+	base.MinMisses = 40
+
+	run := func(parallel int) (*sim.Result, *telemetry.Collector) {
+		cfg := base
+		cfg.Parallel = parallel
+		col := telemetry.New(telemetry.Options{SampleEvery: 500, TraceCap: 1 << 14})
+		cfg.Telemetry = col
+		res, err := sim.Run(cfg, profiles)
+		if err != nil {
+			t.Fatalf("run(parallel=%d): %v", parallel, err)
+		}
+		return res, col
+	}
+	serialRes, serialCol := run(0)
+	parRes, parCol := run(16)
+
+	if !reflect.DeepEqual(serialRes, parRes) {
+		t.Errorf("results diverge with telemetry on\nserial:   %+v\nparallel: %+v", serialRes, parRes)
+	}
+	ss, ps := serialCol.Series.Samples(), parCol.Series.Samples()
+	if len(ss) == 0 {
+		t.Fatal("no samples collected")
+	}
+	if !reflect.DeepEqual(ss, ps) {
+		t.Fatalf("interval samples diverge: serial %d samples, parallel %d", len(ss), len(ps))
+	}
+	se, pe := serialCol.Tracer.Events(), parCol.Tracer.Events()
+	if len(se) == 0 {
+		t.Fatal("no events traced")
+	}
+	if !reflect.DeepEqual(se, pe) {
+		limit := min(len(se), len(pe))
+		for i := 0; i < limit; i++ {
+			if !reflect.DeepEqual(se[i], pe[i]) {
+				t.Fatalf("trace event %d diverges\nserial:   %+v\nparallel: %+v", i, se[i], pe[i])
+			}
+		}
+		t.Fatalf("trace lengths diverge: serial %d, parallel %d", len(se), len(pe))
+	}
+}

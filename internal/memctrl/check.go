@@ -22,13 +22,16 @@ func (c *Controller) EnqueuedReads() int64 { return c.enqueuedReads }
 func (c *Controller) EnqueuedWrites() int64 { return c.enqueuedWrites }
 
 // InFlight returns the number of requests whose column access has
-// issued and whose completion is pending, split by kind.
+// issued and whose completion is pending, split by kind, summed over
+// the per-channel in-flight lists.
 func (c *Controller) InFlight() (reads, writes int) {
-	for _, r := range c.inFlight {
-		if r.IsWrite {
-			writes++
-		} else {
-			reads++
+	for i := range c.chState {
+		for _, r := range c.chState[i].inFlight {
+			if r.IsWrite {
+				writes++
+			} else {
+				reads++
+			}
 		}
 	}
 	return reads, writes
@@ -180,6 +183,14 @@ func (c *Controller) CheckInvariants() error {
 			return fmt.Errorf("memctrl: thread %d has negative in-service bank count %d", t, c.inServiceBanks[t])
 		}
 	}
+	for ch := range c.chState {
+		for _, r := range c.chState[ch].inFlight {
+			if r.Loc.Channel != ch {
+				return fmt.Errorf("memctrl: in-flight request %d for channel %d filed under channel %d",
+					r.ID, r.Loc.Channel, ch)
+			}
+		}
+	}
 	fr, fw := c.InFlight()
 	if got := c.ServicedReads() + int64(c.queuedReads) + int64(fr); got != c.enqueuedReads {
 		return fmt.Errorf("memctrl: read conservation violated: %d enqueued, but serviced+queued+inflight = %d",
@@ -194,26 +205,26 @@ func (c *Controller) CheckInvariants() error {
 
 // RequestSnapshot is one queued or in-flight request in a Snapshot.
 type RequestSnapshot struct {
-	ID      uint64
-	Thread  int
-	Bank    int
-	Row     int
-	Arrival int64
-	IsWrite bool
-	Started bool
+	ID      uint64 // the request's arrival-order identity
+	Thread  int    // issuing hardware thread
+	Bank    int    // target bank within the request's channel
+	Row     int    // target DRAM row
+	Arrival int64  // DRAM cycle the request entered the buffer
+	IsWrite bool   // writeback rather than demand read
+	Started bool   // command issued; the request is in flight
 }
 
 // BankSnapshot is one bank's row-buffer state in a Snapshot.
 type BankSnapshot struct {
-	Open    bool
-	OpenRow int
+	Open    bool // a row is open in the bank's row buffer
+	OpenRow int  // which row, meaningful only when Open
 }
 
 // ChannelSnapshot is one channel's queues and bank states.
 type ChannelSnapshot struct {
-	Reads  []RequestSnapshot
-	Writes []RequestSnapshot
-	Banks  []BankSnapshot
+	Reads  []RequestSnapshot // queued reads, arrival order
+	Writes []RequestSnapshot // buffered writebacks, arrival order
+	Banks  []BankSnapshot    // row-buffer state per bank
 }
 
 // Snapshot is a point-in-time diagnostic dump of the controller's
@@ -221,11 +232,11 @@ type ChannelSnapshot struct {
 // copies everything it reports, so holding one is safe after the
 // simulation moves on.
 type Snapshot struct {
-	Cycle        int64
-	QueuedReads  int
-	QueuedWrites int
-	InFlight     int
-	Channels     []ChannelSnapshot
+	Cycle        int64             // DRAM cycle of the capture
+	QueuedReads  int               // reads waiting across all channels
+	QueuedWrites int               // writebacks buffered across all channels
+	InFlight     int               // issued requests not yet completed
+	Channels     []ChannelSnapshot // per-channel detail
 }
 
 // Snapshot captures the controller's queues and bank states as of the
@@ -235,7 +246,7 @@ func (c *Controller) Snapshot(now int64) Snapshot {
 		Cycle:        now,
 		QueuedReads:  c.queuedReads,
 		QueuedWrites: c.queuedWrites,
-		InFlight:     len(c.inFlight),
+		InFlight:     c.inFlightTotal(),
 	}
 	snap := func(r *Request) RequestSnapshot {
 		return RequestSnapshot{

@@ -85,8 +85,10 @@ func TestCompleteFinishedDeterministicOrder(t *testing.T) {
 	}
 	// Buffer layout deliberately scrambled: neither CompleteAt- nor
 	// ID-sorted, with two same-cycle clusters (cycle 5 and cycle 7) and
-	// one not-yet-due request that must survive untouched.
-	c.inFlight = append(c.inFlight[:0],
+	// one not-yet-due request that must survive untouched. (Zero-value
+	// Loc puts every request on channel 0's in-flight list.)
+	inFlight := &c.chState[0].inFlight
+	*inFlight = append((*inFlight)[:0],
 		mk(9, 7), mk(2, 5), mk(30, 900), mk(7, 5), mk(1, 7), mk(4, 3),
 	)
 	c.completeFinished(10)
@@ -99,7 +101,7 @@ func TestCompleteFinishedDeterministicOrder(t *testing.T) {
 			t.Fatalf("completion order = %v, want %v (CompleteAt, then ID)", fired, want)
 		}
 	}
-	if len(c.inFlight) != 1 || c.inFlight[0].ID != 30 {
-		t.Fatalf("in-flight after retirement = %v, want only request 30", c.inFlight)
+	if len(*inFlight) != 1 || (*inFlight)[0].ID != 30 {
+		t.Fatalf("in-flight after retirement = %v, want only request 30", *inFlight)
 	}
 }

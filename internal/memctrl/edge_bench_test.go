@@ -176,7 +176,13 @@ func BenchmarkCompleteFinished(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c.inFlight = append(c.inFlight[:0], reqs...)
+				for ch := range c.chState {
+					c.chState[ch].inFlight = c.chState[ch].inFlight[:0]
+				}
+				for _, r := range reqs {
+					cs := &c.chState[r.Loc.Channel]
+					cs.inFlight = append(cs.inFlight, r)
+				}
 				c.completeFinished(1000)
 			}
 		})

@@ -1,0 +1,333 @@
+package memctrl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"stfm/internal/dram"
+)
+
+// This file is the channel-parallel stepping engine (DESIGN.md §16).
+//
+// Between two event horizons the serial engine visits channels in index
+// order; everything a channel's arbitration touches is channel-local
+// (its bank queues, winner memos, request timing memos, dram.Channel,
+// chanState scratch) EXCEPT two cross-channel couplings:
+//
+//  1. the global write-buffer occupancy feeds every channel's
+//     write-drain hysteresis, and a write issue on one channel clears
+//     every channel's cached horizon;
+//  2. Policy.OnSchedule for an earlier channel may mutate policy state
+//     consulted by Less for a later channel on the same edge.
+//
+// The parallel engine therefore splits each edge into two phases:
+//
+//   - Phase A (concurrent): every channel with due work runs
+//     MaybeRefresh + eligibility + arbitrateChannel on a worker
+//     goroutine, strictly channel-confined, against the pre-edge
+//     snapshot of the cross-channel inputs. The outcome is recorded in
+//     the channel's decision, nothing is committed.
+//   - Phase B (serial, channel index order): each decision is
+//     validated — the eligibility triple is recomputed against current
+//     write-buffer occupancy, and the policy ordering is checked via
+//     "no issue committed yet this edge", the ChannelLocalOrder
+//     marker, or an unchanged OrderEpoch — then committed (the issue
+//     runs, OnSchedule fires, telemetry records, in serial order). A
+//     decision whose inputs changed is discarded and the channel is
+//     re-arbitrated serially, which reproduces the serial engine's
+//     behavior for that channel exactly.
+//
+// Completions never run concurrently at all: requests issued in phase B
+// land in per-channel in-flight lists, and completeFinished merges them
+// in deterministic (CompleteAt, ID) order at the top of the next edge,
+// before any cross-channel state (STFM stall registers, MSHR frees,
+// core wakeups) is touched. The serial engine is kept verbatim
+// (tickChannelsSerial) as the bit-exactness oracle; the equivalence
+// suite in internal/experiments DeepEquals full Results, telemetry
+// time series, and tracer rings between the two.
+
+// ChannelLocalOrder is an optional marker interface for policies whose
+// OnSchedule mutations are channel-confined with respect to Less: state
+// updated when a command issues on channel X may only change Less
+// outcomes between candidates on channel X. Since Less is only ever
+// invoked on same-channel candidate pairs, such a policy's ordering for
+// channel k cannot be perturbed by an earlier same-edge issue on
+// another channel, and the parallel engine may commit channel k's
+// phase-A decision without re-arbitration even after other channels
+// issued (DESIGN.md §16).
+//
+// FR-FCFS+Cap (per-(channel,bank) column counters) and NFQ
+// (per-(thread,channel,bank) virtual finish times, per-(channel,bank)
+// row-blocked marks) implement it. A policy with any cross-channel
+// ordering state — STFM's slowdown registers, TCM's rank — must NOT
+// implement it; STFM and TCM instead qualify through OrderingPolicy
+// (their Less-visible state changes only in BeginCycle, so the epoch
+// stays put mid-edge). A policy implementing neither still runs
+// correctly in parallel: its decisions are simply re-arbitrated
+// serially once any channel has issued on the edge.
+type ChannelLocalOrder interface {
+	// ChannelLocalOrder is a marker method; implementations are empty.
+	ChannelLocalOrder()
+}
+
+// resolveParallelism maps the Config.Parallelism knob to the worker
+// budget (calling goroutine included): negative means one worker per
+// available CPU, and the budget never exceeds the channel count (there
+// is no finer-grained work to hand out).
+func resolveParallelism(p, channels int) int {
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > channels {
+		p = channels
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Parallelism returns the controller's resolved worker budget: the
+// number of goroutines (the caller included) the parallel engine may
+// use per edge. 1 means the serial engine runs.
+func (c *Controller) Parallelism() int { return c.parWorkers }
+
+// workerPool holds the parallel engine's persistent worker goroutines.
+// Workers block on the task channel between edges; the calling
+// goroutine participates too (and steals every task when the workers
+// are starved of CPU, e.g. under GOMAXPROCS=1), so an edge never waits
+// on the scheduler for liveness.
+type workerPool struct {
+	tasks chan int32
+	wg    sync.WaitGroup
+	// panicked forwards the first phase-A panic to the Tick caller so
+	// the harness's panic containment (sim.RunContext) keeps working
+	// when arbitration runs on a worker goroutine.
+	panicked atomic.Pointer[phasePanic]
+}
+
+// phasePanic boxes a recovered phase-A panic value for re-raising on
+// the Tick goroutine.
+type phasePanic struct{ val any }
+
+// ensurePool lazily starts the worker goroutines the first time a
+// parallel edge runs. parWorkers-1 goroutines are spawned; the Tick
+// caller is the remaining worker.
+func (c *Controller) ensurePool() *workerPool {
+	if c.pool != nil {
+		return c.pool
+	}
+	p := &workerPool{tasks: make(chan int32, len(c.channels))}
+	c.pool = p
+	for i := 0; i < c.parWorkers-1; i++ {
+		go func() {
+			for ch := range p.tasks {
+				c.runPhaseA(int(ch))
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// StopWorkers shuts down the parallel engine's worker goroutines. It is
+// idempotent, a no-op for serial controllers, and must only be called
+// between Ticks (sim.System.RunContext defers it so service workers
+// never leak goroutines across jobs). The controller remains usable
+// afterwards: the next parallel edge starts a fresh pool.
+func (c *Controller) StopWorkers() {
+	if c.pool == nil {
+		return
+	}
+	close(c.pool.tasks)
+	c.pool = nil
+}
+
+// inFlightTotal counts in-flight requests across all channels.
+func (c *Controller) inFlightTotal() int {
+	n := 0
+	for i := range c.chState {
+		n += len(c.chState[i].inFlight)
+	}
+	return n
+}
+
+// tickChannelsParallel is the parallel engine's per-edge channel pass.
+// It must produce exactly the state tickChannelsSerial would: same
+// issues, same policy callbacks in the same order, same horizons.
+func (c *Controller) tickChannelsParallel(now int64) int64 {
+	// Select the channels with due work this edge: a cached horizon
+	// that has fallen due, or a refresh deadline reached (the serial
+	// engine calls MaybeRefresh unconditionally, but off-deadline it is
+	// a no-op, so skipping it for inactive channels is identical).
+	active := c.parActive[:0]
+	for ch := range c.channels {
+		cs := &c.chState[ch]
+		if c.chHorizon[ch] <= now || c.channels[ch].NextRefresh() <= now {
+			cs.dec.active = true
+			active = append(active, int32(ch))
+		} else {
+			cs.dec.active = false
+		}
+	}
+	c.parActive = active
+	if len(active) < 2 {
+		// Nothing to overlap; the serial loop is strictly cheaper.
+		return c.tickChannelsSerial(now)
+	}
+
+	// Snapshot the policy-ordering epoch phase A arbitrates under.
+	var orderEp uint64
+	if c.ordering != nil {
+		orderEp = c.ordering.OrderEpoch()
+	}
+
+	// Phase A: concurrent, channel-confined arbitration. The calling
+	// goroutine takes the first channel, then drains whatever the
+	// workers have not claimed, then waits out the stragglers.
+	pool := c.ensurePool()
+	c.parNow = now
+	pool.wg.Add(len(active))
+	for _, ch := range active[1:] {
+		pool.tasks <- ch
+	}
+	c.runPhaseA(int(active[0]))
+	pool.wg.Done()
+drain:
+	for {
+		select {
+		case ch := <-pool.tasks:
+			c.runPhaseA(int(ch))
+			pool.wg.Done()
+		default:
+			break drain
+		}
+	}
+	pool.wg.Wait()
+	if pp := pool.panicked.Swap(nil); pp != nil {
+		panic(pp.val)
+	}
+
+	// Phase B: validate and commit in channel index order — the merge
+	// point that makes the parallel schedule identical to the serial
+	// one.
+	next := int64(dram.Horizon)
+	issuedAny := false
+	for ch := range c.channels {
+		cs := &c.chState[ch]
+		d := &cs.dec
+		var issued bool
+		var h int64
+		switch {
+		case !d.active || d.kind == decSkip:
+			// Not dispatched (or refreshed without unblocking): behave
+			// like the serial skip — unless an earlier channel's write
+			// issue cleared this channel's horizon, in which case the
+			// serial engine would have rescanned it, so we do too.
+			if hh := c.chHorizon[ch]; now < hh {
+				if hh < next {
+					next = hh
+				}
+				continue
+			}
+			issued, h = c.scheduleChannel(ch, now)
+		case c.decisionValid(ch, d, orderEp, issuedAny):
+			c.draining[ch] = d.draining
+			if d.kind == decIssue {
+				if c.trace != nil {
+					c.traceInversion(now, ch, d.winner, cs.bankBest)
+				}
+				c.issue(ch, now, d.winner, d.cands)
+				issued = true
+			} else {
+				h = d.horizon
+			}
+		default:
+			// Cross-channel inputs moved under the decision: discard it
+			// and re-arbitrate serially, exactly as the serial engine
+			// would have scheduled this channel at this point.
+			issued, h = c.scheduleChannel(ch, now)
+		}
+		if issued {
+			issuedAny = true
+			c.chHorizon[ch] = 0
+			next = min(next, c.nextEdge(now))
+		} else {
+			c.chHorizon[ch] = h
+			if h < next {
+				next = h
+			}
+		}
+	}
+	return next
+}
+
+// runPhaseA executes phase A for one channel, containing any panic so
+// it can be re-raised on the Tick goroutine (keeping sim.RunContext's
+// panic-to-SimError containment intact when arbitration runs on a
+// worker).
+func (c *Controller) runPhaseA(ch int) {
+	defer func() {
+		if v := recover(); v != nil {
+			c.pool.panicked.CompareAndSwap(nil, &phasePanic{val: v})
+		}
+	}()
+	c.phaseA(ch, c.parNow)
+}
+
+// phaseA runs one channel's refresh and arbitration against the
+// pre-edge snapshot and records the outcome in the channel's decision.
+// It is the code that runs concurrently, so it must be — and the
+// dram.Channel exclusivity guard asserts it is — channel-confined: the
+// only state written is the channel's own (chanState, bank queues,
+// winner memos, request memos, dram.Channel, its chHorizon slot).
+func (c *Controller) phaseA(ch int, now int64) {
+	channel := c.channels[ch]
+	channel.BeginExclusive()
+	defer channel.EndExclusive()
+	d := &c.chState[ch].dec
+	if channel.MaybeRefresh(now) {
+		c.chHorizon[ch] = 0
+	}
+	if h := c.chHorizon[ch]; now < h {
+		// Refresh-due but the cached no-issue horizon still stands
+		// (refresh blocked or already satisfied): nothing to arbitrate.
+		d.kind = decSkip
+		return
+	}
+	draining, useWrites, hasWork := c.eligibility(ch)
+	d.draining, d.useWrites, d.hasWork = draining, useWrites, hasWork
+	if !hasWork {
+		d.kind = decHorizon
+		d.horizon = dram.Horizon
+		return
+	}
+	best, h := c.arbitrateChannel(ch, now, draining, useWrites)
+	if best == nil {
+		d.kind = decHorizon
+		d.horizon = h
+		return
+	}
+	d.kind = decIssue
+	d.winner = best
+	d.cands = c.materializeChannel(ch, now, useWrites)
+}
+
+// decisionValid reports whether a phase-A decision may be committed
+// as-is. The eligibility triple is recomputed against the current
+// write-buffer occupancy (earlier channels' write issues this edge may
+// have drained it below a watermark); the policy ordering is valid if
+// no command has been committed yet this edge (nothing cross-channel
+// has moved at all), the policy's ordering is channel-local by
+// contract, or its OrderEpoch is unchanged since the phase-A snapshot.
+func (c *Controller) decisionValid(ch int, d *decision, orderEp uint64, issuedAny bool) bool {
+	draining, useWrites, hasWork := c.eligibility(ch)
+	if draining != d.draining || useWrites != d.useWrites || hasWork != d.hasWork {
+		return false
+	}
+	if !issuedAny || !d.hasWork || c.chLocalOrder {
+		return true
+	}
+	return c.ordering != nil && c.ordering.OrderEpoch() == orderEp
+}

@@ -10,6 +10,7 @@ import "stfm/internal/dram"
 // arbitrate requests, then issue the winner's commands as they become
 // ready).
 type Candidate struct {
+	// Req is the queued request this candidate would service.
 	Req *Request
 	// Cmd is the next command the request needs given the current
 	// row-buffer state of its bank.
@@ -66,6 +67,10 @@ type Policy interface {
 // PAR-BS-style schedulers) implement it, and the controller calls
 // PrepareCycle with the channel's candidates before arbitration.
 type BatchPolicy interface {
+	// PrepareCycle observes (and may re-batch over) the channel's full
+	// candidate set before this cycle's arbitration. Because it runs
+	// interleaved with per-channel selection, controllers driven by a
+	// BatchPolicy always use the serial stepping engine (DESIGN.md §16).
 	PrepareCycle(channel int, now int64, waiting []Candidate)
 }
 
@@ -86,6 +91,8 @@ type BatchPolicy interface {
 // implement the interface — there is no sound epoch for wall-clock
 // time. Stateless orders (FR-FCFS, FCFS) return a constant.
 type OrderingPolicy interface {
+	// OrderEpoch returns the current ordering-state counter; see the
+	// interface comment for the exact bumping contract.
 	OrderEpoch() uint64
 }
 
@@ -100,6 +107,8 @@ type OrderingPolicy interface {
 // implementations report from up-to-date state. Policies that react
 // purely to scheduling events need not implement it.
 type EventPolicy interface {
+	// NextPolicyEvent returns the next CPU cycle at which the policy
+	// must observe a DRAM clock edge; see the interface comment.
 	NextPolicyEvent(now int64) int64
 }
 

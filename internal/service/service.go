@@ -45,6 +45,17 @@ type Options struct {
 	// executed job, in DRAM cycles; 0 selects 5000, negative disables
 	// progress reporting.
 	SampleEvery int64
+	// JobParallel caps each job's channel-parallel stepping workers
+	// (sim.Config.Parallel, DESIGN.md §16) so jobs cannot oversubscribe
+	// a host already running Workers simultaneous simulations: a job
+	// requesting more is clamped, and a job requesting auto (-1)
+	// receives the cap. 0 derives the cap by dividing the host's CPUs
+	// among the worker pool (max(1, GOMAXPROCS/Workers)); negative
+	// leaves job requests uncapped. Clamping is result-neutral — the
+	// parallel engine is bit-identical at any worker count — which is
+	// also why the result cache may serve a serial run's entry for a
+	// parallel request.
+	JobParallel int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -88,6 +99,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.SampleEvery == 0 {
 		opts.SampleEvery = 5000
+	}
+	if opts.JobParallel == 0 {
+		opts.JobParallel = max(1, runtime.GOMAXPROCS(0)/opts.Workers)
 	}
 	cache, err := NewCache(opts.CacheDir)
 	if err != nil {
@@ -371,6 +385,13 @@ func (s *Server) runJob(j *job) {
 		j.col = telemetry.New(telemetry.Options{SampleEvery: s.opts.SampleEvery})
 		cfg.Telemetry = j.col
 	}
+	// Cap the job's stepping parallelism by the pool-derived budget so
+	// Workers concurrent jobs cannot oversubscribe the host. Neutral to
+	// the result (and the cache key): the parallel engine's schedule is
+	// bit-identical at any worker count.
+	if cap := s.opts.JobParallel; cap > 0 && (cfg.Parallel < 0 || cfg.Parallel > cap) {
+		cfg.Parallel = cap
+	}
 	j.status = StatusRunning
 	j.cancel = cancel
 	j.startedAt = time.Now()
@@ -432,6 +453,10 @@ func (s *Server) runJob(j *job) {
 type Stats struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Workers       int     `json:"workers"`
+	// JobParallel is the per-job stepping-worker cap applied to every
+	// executed job's Config.Parallel (Options.JobParallel; negative
+	// means uncapped).
+	JobParallel int `json:"jobParallel"`
 	Running       int     `json:"running"`
 	QueueDepth    int     `json:"queueDepth"`
 	QueueCapacity int     `json:"queueCapacity"`
@@ -457,6 +482,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.opts.Workers,
+		JobParallel:   s.opts.JobParallel,
 		Running:       s.running,
 		QueueDepth:    s.queue.Depth(),
 		QueueCapacity: s.queue.Cap(),

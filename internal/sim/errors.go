@@ -45,9 +45,9 @@ func ctxErr(ctx context.Context, cycle int64) error {
 
 // ThreadDiag is one thread's progress state inside a StallError dump.
 type ThreadDiag struct {
-	Benchmark   string
-	Committed   int64
-	StallCycles int64
+	Benchmark   string // the thread's benchmark name
+	Committed   int64  // instructions committed when the watchdog fired
+	StallCycles int64  // memory stall cycles accumulated so far
 	// Outstanding is the thread's MSHR occupancy (outstanding L2
 	// misses) at the moment the watchdog fired.
 	Outstanding int
@@ -63,10 +63,10 @@ type ThreadDiag struct {
 // per-thread progress and MSHR occupancy, STFM's slowdown registers,
 // and the controller's queues and bank states.
 type StallError struct {
-	Cycle   int64
-	Window  int64
-	Threads []ThreadDiag
-	Queues  memctrl.Snapshot
+	Cycle   int64            // CPU cycle at which the watchdog fired
+	Window  int64            // progress-free window length it observed
+	Threads []ThreadDiag     // per-thread progress at the wedge
+	Queues  memctrl.Snapshot // controller queues and bank states
 }
 
 // Error implements error, rendering the full diagnostic dump.
@@ -92,10 +92,10 @@ func (e *StallError) Error() string {
 // recovered goroutine stack for panics, nil for plain invariant
 // failures.
 type SimError struct {
-	Cycle int64
-	Check string
-	Err   error
-	Stack []byte
+	Cycle int64  // CPU cycle the failure surfaced at
+	Check string // name of the failing self-check
+	Err   error  // underlying cause, exposed via Unwrap
+	Stack []byte // recovered goroutine stack for panics, else nil
 }
 
 // Error implements error.
@@ -115,9 +115,9 @@ func (e *SimError) Unwrap() error { return e.Err }
 // indistinguishable from a legitimately short trace: the stream just
 // stops, the core drains, and the run "succeeds" on corrupt input.
 type StreamError struct {
-	Thread    int
-	Benchmark string
-	Err       error
+	Thread    int    // index of the thread whose stream failed
+	Benchmark string // its benchmark name
+	Err       error  // the parse or I/O failure
 }
 
 // Error implements error.

@@ -123,6 +123,18 @@ type Config struct {
 	// exists as the differential-testing escape hatch and for debugging
 	// with per-cycle traces.
 	DenseTick bool `json:"denseTick"`
+	// Parallel selects the controller's channel-parallel stepping
+	// engine (DESIGN.md §16): on each DRAM edge, per-channel
+	// arbitration runs concurrently on up to Parallel goroutines and
+	// the decisions are validated and committed serially in channel
+	// order, so the schedule — and therefore the Result — is
+	// bit-identical to the serial engine's (the parallel equivalence
+	// tests in internal/experiments assert it). 0 or 1 keeps the
+	// serial engine; a negative value sizes the pool to the available
+	// CPUs (runtime.GOMAXPROCS); values above the channel count are
+	// clamped. Schedule-neutral by construction, so it is excluded
+	// from Fingerprint like the other engine knobs.
+	Parallel int `json:"parallel,omitempty"`
 	// WatchdogCycles sets the forward-progress watchdog window in CPU
 	// cycles: if no core commits an instruction and no DRAM command
 	// issues for a full window, the run aborts with a *StallError
@@ -206,25 +218,25 @@ func ProtocolChannels(p dram.Protocol, cores int) int {
 // new field is visible in the encoding and fails the golden until it is
 // regenerated.
 type ThreadResult struct {
-	Benchmark      string `json:"benchmark"`
-	Instructions   int64  `json:"instructions"`
-	Cycles         int64  `json:"cycles"`
-	MemStallCycles int64  `json:"memStallCycles"`
+	Benchmark      string `json:"benchmark"`      // benchmark profile name
+	Instructions   int64  `json:"instructions"`   // instructions committed in the window
+	Cycles         int64  `json:"cycles"`         // CPU cycles the window spanned
+	MemStallCycles int64  `json:"memStallCycles"` // cycles stalled on DRAM
 	// IPC is instructions per cycle over the measured window.
 	IPC float64 `json:"ipc"`
 	// MCPI is memory stall cycles per instruction — the numerator and
 	// denominator of the paper's slowdown metric come from shared and
 	// alone MCPI values.
 	MCPI           float64 `json:"mcpi"`
-	DRAMReads      int64   `json:"dramReads"`
-	DRAMWrites     int64   `json:"dramWrites"`
-	RowHitRate     float64 `json:"rowHitRate"`
-	AvgReadLatency float64 `json:"avgReadLatency"`
+	DRAMReads      int64   `json:"dramReads"`      // demand reads the thread completed
+	DRAMWrites     int64   `json:"dramWrites"`     // writebacks serviced on its behalf
+	RowHitRate     float64 `json:"rowHitRate"`     // fraction of reads first scheduled as row hits
+	AvgReadLatency float64 `json:"avgReadLatency"` // mean read round trip in CPU cycles
 	// P95ReadLatency / P99ReadLatency bound the tail of the thread's
 	// read round trips (power-of-two bucket resolution); scheduling
 	// starvation appears here long before it moves the average.
 	P95ReadLatency int64 `json:"p95ReadLatency"`
-	P99ReadLatency int64 `json:"p99ReadLatency"`
+	P99ReadLatency int64 `json:"p99ReadLatency"` // see P95ReadLatency
 	// Truncated marks threads that hit MaxCycles before the
 	// instruction target.
 	Truncated bool `json:"truncated"`
@@ -236,14 +248,16 @@ type ThreadResult struct {
 // shortest-exact form — so a Result written to the disk cache and read
 // back is reflect.DeepEqual to the original.
 type Result struct {
-	Policy      PolicyKind     `json:"policy"`
-	Threads     []ThreadResult `json:"threads"`
-	TotalCycles int64          `json:"totalCycles"`
+	Policy      PolicyKind     `json:"policy"`      // the scheduler that ran
+	Threads     []ThreadResult `json:"threads"`     // per-thread outcomes, core order
+	TotalCycles int64          `json:"totalCycles"` // CPU cycles until the last thread finished
 	// BusUtilization is the data-bus busy fraction across channels.
 	BusUtilization float64 `json:"busUtilization"`
-	// STFM diagnostics (zero unless the policy is STFM).
+	// STFMUnfairness and STFMFairnessFraction are STFM's own runtime
+	// diagnostics (final estimated unfairness; fraction of cycles spent
+	// in fairness mode). Zero unless the policy is STFM.
 	STFMUnfairness       float64 `json:"stfmUnfairness"`
-	STFMFairnessFraction float64 `json:"stfmFairnessFraction"`
+	STFMFairnessFraction float64 `json:"stfmFairnessFraction"` // see STFMUnfairness
 }
 
 // System is a fully wired CMP + DRAM simulation. Construct with
@@ -316,6 +330,12 @@ func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
 	}
 	if cfg.Timing != nil {
 		mcfg.Timing = *cfg.Timing
+	}
+	// Dense ticking exists to oracle the event engine; stacking the
+	// parallel engine under it would just slow the oracle down, so the
+	// knob only takes effect on event-driven runs.
+	if !cfg.DenseTick {
+		mcfg.Parallelism = cfg.Parallel
 	}
 
 	s := &System{cfg: cfg, profiles: profiles}
@@ -649,6 +669,11 @@ func (s *System) RunContext(ctx context.Context) (res *Result, err error) {
 			err = &SimError{Cycle: s.now, Check: "panic", Err: panicErr(v), Stack: debug.Stack()}
 		}
 	}()
+	// The parallel engine's worker goroutines live only for the run:
+	// long-lived callers (the server's worker pool) must not leak a
+	// pool per job. Runs first on unwind, so even a panicking run shuts
+	// its workers down before the recovery above reports it.
+	defer s.ctrl.StopWorkers()
 	maxCycles := s.cfg.CycleBudget(s.profiles)
 	done := ctx.Done()
 	// Watchdog state: the next boundary to observe at, and the progress
