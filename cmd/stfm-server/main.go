@@ -20,6 +20,12 @@
 // SIGINT/SIGTERM drain gracefully: intake stops, queued and running
 // jobs finish (bounded by -drain-timeout, after which they are
 // canceled), then the process exits.
+//
+// With -journal-dir set, accepted jobs also survive ungraceful death
+// (kill -9, power loss): lifecycle records are journaled write-ahead,
+// running jobs checkpoint every -checkpoint-every CPU cycles, and a
+// restart on the same journal re-enqueues pending jobs and resumes
+// running ones from their last checkpoint. See DESIGN.md Section 17.
 package main
 
 import (
@@ -46,18 +52,22 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "directory for the result cache's disk spill (empty = memory only)")
 		sampleEvery  = flag.Int64("sample-every", 5000, "progress sampling interval in DRAM cycles")
 		jobParallel  = flag.Int("job-parallel", 0, "cap on each job's channel-parallel stepping workers (0 = CPUs divided by -workers, negative = uncapped; results are bit-identical either way)")
+		journalDir   = flag.String("journal-dir", "", "directory for the durable job journal and checkpoints; restarts re-enqueue pending jobs and resume from checkpoints (empty = no journal)")
+		ckptEvery    = flag.Int64("checkpoint-every", 0, "checkpoint period for journaled jobs in CPU cycles (0 = 250000, negative = journal without checkpoints)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "stfm-server: ", log.LstdFlags)
 	srv, err := service.New(service.Options{
-		Workers:     *workers,
-		QueueSize:   *queueSize,
-		CacheDir:    *cacheDir,
-		SampleEvery: *sampleEvery,
-		JobParallel: *jobParallel,
-		Logf:        logger.Printf,
+		Workers:         *workers,
+		QueueSize:       *queueSize,
+		CacheDir:        *cacheDir,
+		SampleEvery:     *sampleEvery,
+		JobParallel:     *jobParallel,
+		JournalDir:      *journalDir,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logger.Printf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stfm-server: %v\n", err)

@@ -22,17 +22,30 @@ type Hierarchy struct {
 	pendingWB   []uint64
 
 	dramLoads int64
+
+	// pendingTag is the issue sequence number of the load about to
+	// arrive (cpu.LoadTagger); consumed by the next Load call. Tags
+	// identify which window entry a pending completion or MSHR waiter
+	// belongs to, which is what lets checkpoint restore re-create the
+	// callback closures (DESIGN.md §17). They have no effect on timing.
+	pendingTag int64
 }
 
 type mshr struct {
 	waiters []func(now int64)
-	write   bool
+	// tags[i] is the issue tag of waiters[i] (see Hierarchy.pendingTag).
+	tags  []int64
+	write bool
 }
 
 type completion struct {
 	at   int64
 	done func(now int64)
+	tag  int64
 }
+
+// TagNextLoad implements cpu.LoadTagger.
+func (h *Hierarchy) TagNextLoad(seq int64) { h.pendingTag = seq }
 
 // NewHierarchy builds a private L1/L2 pair for the given hardware
 // thread over the shared controller. mshrs bounds outstanding L2
@@ -78,16 +91,18 @@ func (h *Hierarchy) OutstandingMisses() int { return len(h.outstanding) }
 // false return means MSHRs or the DRAM request buffer are exhausted;
 // the caller should retry next cycle.
 func (h *Hierarchy) Load(now int64, lineAddr uint64, done func(now int64)) (accepted, l2Miss bool) {
+	tag := h.pendingTag
+	h.pendingTag = 0
 	if h.l1.Access(lineAddr, false) {
-		h.complete(now+h.l1.cfg.Latency, done)
+		h.complete(now+h.l1.cfg.Latency, done, tag)
 		return true, false
 	}
 	if h.l2.Access(lineAddr, false) {
 		h.fillL1(lineAddr, false)
-		h.complete(now+h.l2.cfg.Latency, done)
+		h.complete(now+h.l2.cfg.Latency, done, tag)
 		return true, false
 	}
-	return h.miss(now, lineAddr, false, done), true
+	return h.miss(now, lineAddr, false, done, tag), true
 }
 
 // Store issues a cache-line write (write-allocate, write-back). Store
@@ -102,14 +117,15 @@ func (h *Hierarchy) Store(now int64, lineAddr uint64) (accepted bool) {
 		h.fillL1(lineAddr, true)
 		return true
 	}
-	return h.miss(now, lineAddr, true, nil)
+	return h.miss(now, lineAddr, true, nil, 0)
 }
 
-func (h *Hierarchy) miss(now int64, lineAddr uint64, write bool, done func(now int64)) bool {
+func (h *Hierarchy) miss(now int64, lineAddr uint64, write bool, done func(now int64), tag int64) bool {
 	if m, ok := h.outstanding[lineAddr]; ok {
 		// MSHR merge: piggyback on the in-flight fill.
 		if done != nil {
 			m.waiters = append(m.waiters, done)
+			m.tags = append(m.tags, tag)
 		}
 		m.write = m.write || write
 		return true
@@ -120,14 +136,22 @@ func (h *Hierarchy) miss(now int64, lineAddr uint64, write bool, done func(now i
 	m := &mshr{write: write}
 	if done != nil {
 		m.waiters = append(m.waiters, done)
+		m.tags = append(m.tags, tag)
 	}
-	ok := h.ctrl.EnqueueRead(now, h.thread, lineAddr, func(at int64) { h.fill(at, lineAddr) })
+	ok := h.ctrl.EnqueueRead(now, h.thread, lineAddr, h.fillCallback(lineAddr))
 	if !ok {
 		return false
 	}
 	h.outstanding[lineAddr] = m
 	h.dramLoads++
 	return true
+}
+
+// fillCallback builds the controller completion callback for the
+// in-flight fill of lineAddr. Checkpoint restore re-creates these for
+// restored DRAM read requests (FillCallback), so the two must agree.
+func (h *Hierarchy) fillCallback(lineAddr uint64) func(at int64) {
+	return func(at int64) { h.fill(at, lineAddr) }
 }
 
 // fill handles a DRAM fill arriving for lineAddr.
@@ -165,11 +189,11 @@ func (h *Hierarchy) writeback(now int64, lineAddr uint64) {
 	}
 }
 
-func (h *Hierarchy) complete(at int64, done func(now int64)) {
+func (h *Hierarchy) complete(at int64, done func(now int64), tag int64) {
 	if done == nil {
 		return
 	}
-	h.completions = append(h.completions, completion{at: at, done: done})
+	h.completions = append(h.completions, completion{at: at, done: done, tag: tag})
 }
 
 // Tick delivers due cache-hit completions and retries writebacks that

@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements checkpoint support for the cache hierarchy
+// (DESIGN.md §17). Cache content (tags, dirty bits, LRU timestamps) is
+// serialized verbatim. MSHR waiter callbacks and pending hit
+// completions are core closures and cannot be serialized; each carries
+// the issue tag of the window entry it belongs to (cpu.LoadTagger), so
+// restore re-creates the closures by asking the restored core for a
+// fresh callback per tag. Slice orders are preserved exactly: Tick
+// delivers completions by slice scan with swap-removal and fill fires
+// waiters in append order, so order is part of the schedule.
+
+// LineSnapshot is the serialized state of one cache line.
+type LineSnapshot struct {
+	Tag   uint64 `json:"tag"`
+	Valid bool   `json:"valid"`
+	Dirty bool   `json:"dirty"`
+	Used  int64  `json:"used"`
+}
+
+// CacheState is the serialized content of one cache level.
+type CacheState struct {
+	// Lines holds all ways of all sets, set-major (set 0's ways first).
+	Lines  []LineSnapshot `json:"lines"`
+	Clock  int64          `json:"clock"`
+	Hits   int64          `json:"hits"`
+	Misses int64          `json:"misses"`
+}
+
+// SaveState captures the cache's content and counters.
+func (c *Cache) SaveState() CacheState {
+	st := CacheState{Clock: c.clock, Hits: c.hits, Misses: c.misses}
+	for _, set := range c.sets {
+		for _, l := range set {
+			st.Lines = append(st.Lines, LineSnapshot{Tag: l.tag, Valid: l.valid, Dirty: l.dirty, Used: l.used})
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the cache's content with a snapshot taken on
+// a cache of the same geometry.
+func (c *Cache) RestoreState(st CacheState) error {
+	want := len(c.sets) * c.cfg.Ways
+	if len(st.Lines) != want {
+		return fmt.Errorf("cache: snapshot has %d lines, cache has %d", len(st.Lines), want)
+	}
+	i := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := st.Lines[i]
+			c.sets[s][w] = line{tag: l.Tag, valid: l.Valid, dirty: l.Dirty, used: l.Used}
+			i++
+		}
+	}
+	c.clock = st.Clock
+	c.hits = st.Hits
+	c.misses = st.Misses
+	return nil
+}
+
+// MSHRSnapshot is the serialized state of one in-flight L2 miss.
+type MSHRSnapshot struct {
+	LineAddr uint64 `json:"lineAddr"`
+	Write    bool   `json:"write"`
+	// WaiterTags are the issue tags of the loads merged into this miss,
+	// in registration order (the order fill fires them in).
+	WaiterTags []int64 `json:"waiterTags"`
+}
+
+// CompletionSnapshot is the serialized state of one pending cache-hit
+// completion.
+type CompletionSnapshot struct {
+	At  int64 `json:"at"`
+	Tag int64 `json:"tag"`
+}
+
+// HierarchyState is the serialized mutable state of a Hierarchy.
+type HierarchyState struct {
+	L1 CacheState `json:"l1"`
+	L2 CacheState `json:"l2"`
+	// Outstanding is sorted by line address (map order is not part of
+	// the schedule; every access is keyed).
+	Outstanding []MSHRSnapshot `json:"outstanding"`
+	// Completions preserves the pending-completion slice order, which
+	// Tick's scan-and-swap delivery makes schedule-relevant.
+	Completions []CompletionSnapshot `json:"completions"`
+	PendingWB   []uint64             `json:"pendingWB"`
+	DRAMLoads   int64                `json:"dramLoads"`
+}
+
+// SaveState captures the hierarchy's mutable state.
+func (h *Hierarchy) SaveState() HierarchyState {
+	st := HierarchyState{
+		L1:        h.l1.SaveState(),
+		L2:        h.l2.SaveState(),
+		PendingWB: append([]uint64(nil), h.pendingWB...),
+		DRAMLoads: h.dramLoads,
+	}
+	for addr, m := range h.outstanding {
+		st.Outstanding = append(st.Outstanding, MSHRSnapshot{
+			LineAddr:   addr,
+			Write:      m.write,
+			WaiterTags: append([]int64(nil), m.tags...),
+		})
+	}
+	sort.Slice(st.Outstanding, func(i, j int) bool {
+		return st.Outstanding[i].LineAddr < st.Outstanding[j].LineAddr
+	})
+	for _, c := range h.completions {
+		st.Completions = append(st.Completions, CompletionSnapshot{At: c.at, Tag: c.tag})
+	}
+	return st
+}
+
+// RestoreState overwrites the hierarchy's mutable state with a
+// snapshot. resolve maps an issue tag back to a fresh completion
+// callback on the restored core (cpu.Core.InFlightCallback); it is
+// invoked for every MSHR waiter and pending completion.
+func (h *Hierarchy) RestoreState(st HierarchyState, resolve func(tag int64) (func(now int64), error)) error {
+	if err := h.l1.RestoreState(st.L1); err != nil {
+		return fmt.Errorf("cache: L1: %w", err)
+	}
+	if err := h.l2.RestoreState(st.L2); err != nil {
+		return fmt.Errorf("cache: L2: %w", err)
+	}
+	if len(st.Outstanding) > h.mshrs {
+		return fmt.Errorf("cache: snapshot has %d outstanding misses, hierarchy allows %d", len(st.Outstanding), h.mshrs)
+	}
+	outstanding := make(map[uint64]*mshr, len(st.Outstanding))
+	for _, ms := range st.Outstanding {
+		if _, dup := outstanding[ms.LineAddr]; dup {
+			return fmt.Errorf("cache: snapshot has duplicate MSHR for line %#x", ms.LineAddr)
+		}
+		m := &mshr{write: ms.Write}
+		for _, tag := range ms.WaiterTags {
+			done, err := resolve(tag)
+			if err != nil {
+				return fmt.Errorf("cache: MSHR waiter for line %#x: %w", ms.LineAddr, err)
+			}
+			m.waiters = append(m.waiters, done)
+			m.tags = append(m.tags, tag)
+		}
+		outstanding[ms.LineAddr] = m
+	}
+	completions := make([]completion, 0, len(st.Completions))
+	for _, cs := range st.Completions {
+		done, err := resolve(cs.Tag)
+		if err != nil {
+			return fmt.Errorf("cache: pending completion: %w", err)
+		}
+		completions = append(completions, completion{at: cs.At, done: done, tag: cs.Tag})
+	}
+	h.outstanding = outstanding
+	h.completions = completions
+	h.pendingWB = append([]uint64(nil), st.PendingWB...)
+	h.dramLoads = st.DRAMLoads
+	h.pendingTag = 0
+	return nil
+}
+
+// FillCallback returns a fresh controller completion callback for the
+// in-flight fill of lineAddr, behaviorally identical to the one miss()
+// registered in the original run. It errors when the hierarchy has no
+// outstanding miss for that line — a checkpoint/component mismatch.
+func (h *Hierarchy) FillCallback(lineAddr uint64) (func(at int64), error) {
+	if _, ok := h.outstanding[lineAddr]; !ok {
+		return nil, fmt.Errorf("cache: thread %d has no outstanding miss for line %#x", h.thread, lineAddr)
+	}
+	return h.fillCallback(lineAddr), nil
+}

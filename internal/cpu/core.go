@@ -22,6 +22,18 @@ import "stfm/internal/trace"
 // bounds the simulation jump. The value matches dram.Horizon.
 const Horizon = int64(1) << 62
 
+// LoadTagger is an optional interface a Memory implementation exposes
+// when it needs to know which window entry an incoming Load belongs to
+// (checkpoint support): the core calls TagNextLoad with the issue
+// sequence number it is about to assign, immediately before Load. The
+// tag travels with the access through the port's internal pending
+// structures so a restored port can be re-linked to the restored core's
+// window entries. Implemented by cache.Hierarchy; the direct DRAM port
+// does not need it (its requests are matched by issue order instead).
+type LoadTagger interface {
+	TagNextLoad(seq int64)
+}
+
 // Memory is the port a core uses to access its memory hierarchy. It is
 // implemented by cache.Hierarchy (cache mode) and by the simulation
 // engine's direct DRAM port (miss-stream mode).
@@ -60,6 +72,12 @@ type winEntry struct {
 	addr   uint64
 	chain  int
 	dep    bool
+
+	// seq is the core-local issue sequence number assigned when the
+	// load was accepted by the memory port. Checkpoint restore uses it
+	// to re-associate in-flight memory requests with their window
+	// entries (DESIGN.md §17); it has no effect on scheduling.
+	seq int64
 }
 
 // Core is one trace-driven processor core.
@@ -67,6 +85,7 @@ type Core struct {
 	id     int
 	cfg    Config
 	mem    Memory
+	tagger LoadTagger // mem's optional LoadTagger side, asserted once
 	stream trace.Stream
 
 	window    []*winEntry
@@ -103,6 +122,10 @@ type Core struct {
 	dramLoads  int64
 	l2MissHead bool
 
+	// issueSeq is the last issue sequence number assigned to an
+	// accepted load (see winEntry.seq).
+	issueSeq int64
+
 	// nextAt is the next cycle the core must be Tick'd at to stay
 	// cycle-accurate: Tick's self-scheduled event when it has one, the
 	// next cycle when an external unblock must be polled for (a
@@ -133,7 +156,9 @@ func New(id int, cfg Config, mem Memory, stream trace.Stream) *Core {
 	if cfg.Width <= 0 || cfg.WindowSize <= 0 {
 		panic("cpu: Width and WindowSize must be positive")
 	}
-	return &Core{id: id, cfg: cfg, mem: mem, stream: stream}
+	c := &Core{id: id, cfg: cfg, mem: mem, stream: stream}
+	c.tagger, _ = mem.(LoadTagger)
+	return c
 }
 
 // ID returns the core's index.
@@ -446,19 +471,16 @@ func (c *Core) issueLoads(now int64) {
 			continue
 		}
 		e := e
-		accepted, l2Miss := c.mem.Load(now, e.addr, func(at int64) {
-			e.memDone = true
-			c.chainBusy[e.chain]--
-			// Wake a parked core: the completion may unblock commit or
-			// a dependent load at the cycle it fires.
-			if at < c.nextAt {
-				c.nextAt = at
-			}
-		})
+		if c.tagger != nil {
+			c.tagger.TagNextLoad(c.issueSeq + 1)
+		}
+		accepted, l2Miss := c.mem.Load(now, e.addr, c.loadDone(e))
 		if !accepted {
 			kept = append(kept, e) // resources exhausted; retry next cycle
 			continue
 		}
+		c.issueSeq++
+		e.seq = c.issueSeq
 		e.issued = true
 		e.l2Miss = l2Miss
 		if l2Miss {
@@ -468,6 +490,21 @@ func (c *Core) issueLoads(now int64) {
 		c.chainBusy[e.chain]++
 	}
 	c.unissued = kept
+}
+
+// loadDone builds the completion callback for window entry e: it marks
+// the load complete, releases its dependence chain, and wakes a parked
+// core (the completion may unblock commit or a dependent load at the
+// cycle it fires). Checkpoint restore re-creates these callbacks for
+// in-flight loads via InFlightCallback, so the two must stay in sync.
+func (c *Core) loadDone(e *winEntry) func(at int64) {
+	return func(at int64) {
+		e.memDone = true
+		c.chainBusy[e.chain]--
+		if at < c.nextAt {
+			c.nextAt = at
+		}
+	}
 }
 
 func (c *Core) chainOutstanding(chain int) int {

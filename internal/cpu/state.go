@@ -1,0 +1,190 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"stfm/internal/trace"
+)
+
+// This file implements checkpoint support for the core model
+// (DESIGN.md §17). The window is serialized entry by entry; the tail
+// pointer and the unissued list are stored as window indices (every
+// unissued entry is in the window: it was created there and commit
+// cannot retire an un-completed memory entry). The completion closures
+// of in-flight loads are NOT serialized — restore re-creates them via
+// InFlightCallback, matching controller/cache pending state back to
+// window entries by issue sequence number.
+
+// WinEntrySnapshot is the serialized form of one window entry.
+type WinEntrySnapshot struct {
+	Compute int64  `json:"compute"`
+	HasMem  bool   `json:"hasMem"`
+	MemDone bool   `json:"memDone"`
+	L2Miss  bool   `json:"l2Miss"`
+	Issued  bool   `json:"issued"`
+	Addr    uint64 `json:"addr"`
+	Chain   int    `json:"chain"`
+	Dep     bool   `json:"dep"`
+	Seq     int64  `json:"seq"`
+}
+
+// CoreState is the serialized mutable state of a Core.
+type CoreState struct {
+	Window    []WinEntrySnapshot `json:"window"`
+	Occupancy int                `json:"occupancy"`
+
+	Fetching  bool         `json:"fetching"`
+	CurAccess trace.Access `json:"curAccess"`
+	GapLeft   int64        `json:"gapLeft"`
+	// TailIdx is the window index of the open tail entry, or -1.
+	TailIdx    int  `json:"tailIdx"`
+	StreamDone bool `json:"streamDone"`
+
+	// Unissued holds window indices of loads awaiting issue, in retry
+	// order.
+	Unissued     []int `json:"unissued"`
+	StoreBlocked bool  `json:"storeBlocked"`
+	FetchedMem   bool  `json:"fetchedMem"`
+	ChainBusy    []int `json:"chainBusy"`
+
+	Committed int64 `json:"committed"`
+	MemStall  int64 `json:"memStall"`
+	StallAny  int64 `json:"stallAny"`
+	Cycles    int64 `json:"cycles"`
+	DRAMLoads int64 `json:"dramLoads"`
+	IssueSeq  int64 `json:"issueSeq"`
+
+	NextAt       int64 `json:"nextAt"`
+	Settled      int64 `json:"settled"`
+	IdleHasWork  bool  `json:"idleHasWork"`
+	IdleMemStall bool  `json:"idleMemStall"`
+}
+
+// SaveState captures the core's mutable state.
+func (c *Core) SaveState() CoreState {
+	st := CoreState{
+		Window:       make([]WinEntrySnapshot, len(c.window)),
+		Occupancy:    c.occupancy,
+		Fetching:     c.fetching,
+		CurAccess:    c.curAccess,
+		GapLeft:      c.gapLeft,
+		TailIdx:      -1,
+		StreamDone:   c.streamDone,
+		StoreBlocked: c.storeBlocked,
+		FetchedMem:   c.fetchedMem,
+		ChainBusy:    append([]int(nil), c.chainBusy...),
+		Committed:    c.committed,
+		MemStall:     c.memStall,
+		StallAny:     c.stallAny,
+		Cycles:       c.cycles,
+		DRAMLoads:    c.dramLoads,
+		IssueSeq:     c.issueSeq,
+		NextAt:       c.nextAt,
+		Settled:      c.settled,
+		IdleHasWork:  c.idleHasWork,
+		IdleMemStall: c.idleMemStall,
+	}
+	for i, e := range c.window {
+		st.Window[i] = WinEntrySnapshot{
+			Compute: e.compute, HasMem: e.hasMem, MemDone: e.memDone,
+			L2Miss: e.l2Miss, Issued: e.issued, Addr: e.addr,
+			Chain: e.chain, Dep: e.dep, Seq: e.seq,
+		}
+		if e == c.tail {
+			st.TailIdx = i
+		}
+	}
+	for _, e := range c.unissued {
+		idx := -1
+		for i, w := range c.window {
+			if w == e {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic("cpu: unissued entry not in window") // structural invariant
+		}
+		st.Unissued = append(st.Unissued, idx)
+	}
+	return st
+}
+
+// RestoreState overwrites the core's mutable state with a snapshot.
+// In-flight loads (issued, not complete) are left without completion
+// callbacks; the caller must re-link each one via InFlightCallback
+// before the simulation resumes.
+func (c *Core) RestoreState(st CoreState) error {
+	if st.TailIdx < -1 || st.TailIdx >= len(st.Window) {
+		return fmt.Errorf("cpu: snapshot tail index %d out of range for window of %d", st.TailIdx, len(st.Window))
+	}
+	window := make([]*winEntry, len(st.Window))
+	for i, e := range st.Window {
+		window[i] = &winEntry{
+			compute: e.Compute, hasMem: e.HasMem, memDone: e.MemDone,
+			l2Miss: e.L2Miss, issued: e.Issued, addr: e.Addr,
+			chain: e.Chain, dep: e.Dep, seq: e.Seq,
+		}
+	}
+	unissued := make([]*winEntry, 0, len(st.Unissued))
+	for _, idx := range st.Unissued {
+		if idx < 0 || idx >= len(window) {
+			return fmt.Errorf("cpu: snapshot unissued index %d out of range for window of %d", idx, len(window))
+		}
+		unissued = append(unissued, window[idx])
+	}
+	c.window = window
+	c.occupancy = st.Occupancy
+	c.fetching = st.Fetching
+	c.curAccess = st.CurAccess
+	c.gapLeft = st.GapLeft
+	c.tail = nil
+	if st.TailIdx >= 0 {
+		c.tail = window[st.TailIdx]
+	}
+	c.streamDone = st.StreamDone
+	c.unissued = unissued
+	c.storeBlocked = st.StoreBlocked
+	c.fetchedMem = st.FetchedMem
+	c.chainBusy = append([]int(nil), st.ChainBusy...)
+	c.committed = st.Committed
+	c.memStall = st.MemStall
+	c.stallAny = st.StallAny
+	c.cycles = st.Cycles
+	c.dramLoads = st.DRAMLoads
+	c.issueSeq = st.IssueSeq
+	c.nextAt = st.NextAt
+	c.settled = st.Settled
+	c.idleHasWork = st.IdleHasWork
+	c.idleMemStall = st.IdleMemStall
+	return nil
+}
+
+// InFlightSeqs returns the issue sequence numbers of the core's
+// in-flight loads (issued, not yet complete), in ascending order —
+// i.e. in the order the loads were accepted by the memory port.
+func (c *Core) InFlightSeqs() []int64 {
+	var seqs []int64
+	for _, e := range c.window {
+		if e.hasMem && e.issued && !e.memDone {
+			seqs = append(seqs, e.seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+// InFlightCallback returns a fresh completion callback for the
+// in-flight load with the given issue sequence number, behaviorally
+// identical to the one issueLoads registered in the original run. It
+// errors when no such in-flight load exists — a checkpoint/component
+// mismatch the caller must surface.
+func (c *Core) InFlightCallback(seq int64) (func(at int64), error) {
+	for _, e := range c.window {
+		if e.hasMem && e.issued && !e.memDone && e.seq == seq {
+			return c.loadDone(e), nil
+		}
+	}
+	return nil, fmt.Errorf("cpu: core %d has no in-flight load with issue seq %d", c.id, seq)
+}

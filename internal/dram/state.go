@@ -1,0 +1,102 @@
+package dram
+
+import "fmt"
+
+// This file implements checkpoint support for the DRAM model
+// (DESIGN.md §17). Derived configuration — refreshEvery,
+// banksPerGroup — is rebuilt by NewChannel from Timing; the memo
+// epochs (Bank.epoch, Channel.sharedEpoch) are deliberately NOT
+// serialized: a restored channel starts from the fresh
+// sharedEpoch=1/epoch=0 baseline, and every memoized scheduling
+// answer keyed on an old epoch is invalid by construction (a fresh
+// controller's memos start out invalid too), which is schedule-neutral.
+
+// BankSnapshot is the serialized state of one bank's row buffer and
+// readiness timestamps.
+type BankSnapshot struct {
+	Open       bool  `json:"open"`
+	OpenRow    int   `json:"openRow"`
+	ActReadyAt int64 `json:"actReadyAt"`
+	ColReadyAt int64 `json:"colReadyAt"`
+	PreReadyAt int64 `json:"preReadyAt"`
+}
+
+// ChannelSnapshot is the serialized mutable state of a Channel.
+type ChannelSnapshot struct {
+	Banks         []BankSnapshot `json:"banks"`
+	DataBusFreeAt int64          `json:"dataBusFreeAt"`
+	NextRefreshAt int64          `json:"nextRefreshAt"`
+	RefreshBank   int            `json:"refreshBank"`
+	LastColAt     int64          `json:"lastColAt"`
+	LastColGroup  int            `json:"lastColGroup"`
+	ActTimes      [4]int64       `json:"actTimes"`
+	ActNext       int            `json:"actNext"`
+	ReadBurstEnd  int64          `json:"readBurstEnd"`
+	WriteRecEnd   int64          `json:"writeRecoveryEnd"`
+	Stats         Stats          `json:"stats"`
+}
+
+// SaveState captures the channel's mutable timing and row-buffer state.
+func (c *Channel) SaveState() ChannelSnapshot {
+	st := ChannelSnapshot{
+		Banks:         make([]BankSnapshot, len(c.banks)),
+		DataBusFreeAt: c.dataBusFreeAt,
+		NextRefreshAt: c.nextRefreshAt,
+		RefreshBank:   c.refreshBank,
+		LastColAt:     c.lastColAt,
+		LastColGroup:  c.lastColGroup,
+		ActTimes:      c.actTimes,
+		ActNext:       c.actNext,
+		ReadBurstEnd:  c.readBurstEnd,
+		WriteRecEnd:   c.writeRecoveryEnd,
+		Stats:         c.stats,
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		st.Banks[i] = BankSnapshot{
+			Open:       b.state == BankOpen,
+			OpenRow:    b.openRow,
+			ActReadyAt: b.actReadyAt,
+			ColReadyAt: b.colReadyAt,
+			PreReadyAt: b.preReadyAt,
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the channel's mutable state with a snapshot
+// taken by SaveState on a channel of the same geometry. Memo epochs
+// keep their fresh-construction values (see the package comment above).
+func (c *Channel) RestoreState(st ChannelSnapshot) error {
+	if len(st.Banks) != len(c.banks) {
+		return fmt.Errorf("dram: snapshot has %d banks, channel has %d", len(st.Banks), len(c.banks))
+	}
+	if st.RefreshBank < 0 || (len(c.banks) > 0 && st.RefreshBank >= len(c.banks)) {
+		return fmt.Errorf("dram: snapshot refresh cursor %d out of range [0,%d)", st.RefreshBank, len(c.banks))
+	}
+	if st.ActNext < 0 || st.ActNext >= len(c.actTimes) {
+		return fmt.Errorf("dram: snapshot actNext %d out of range [0,4)", st.ActNext)
+	}
+	for i, b := range st.Banks {
+		dst := &c.banks[i]
+		dst.state = BankClosed
+		if b.Open {
+			dst.state = BankOpen
+		}
+		dst.openRow = b.OpenRow
+		dst.actReadyAt = b.ActReadyAt
+		dst.colReadyAt = b.ColReadyAt
+		dst.preReadyAt = b.PreReadyAt
+	}
+	c.dataBusFreeAt = st.DataBusFreeAt
+	c.nextRefreshAt = st.NextRefreshAt
+	c.refreshBank = st.RefreshBank
+	c.lastColAt = st.LastColAt
+	c.lastColGroup = st.LastColGroup
+	c.actTimes = st.ActTimes
+	c.actNext = st.ActNext
+	c.readBurstEnd = st.ReadBurstEnd
+	c.writeRecoveryEnd = st.WriteRecEnd
+	c.stats = st.Stats
+	return nil
+}

@@ -44,13 +44,13 @@ func newParallelController(tb testing.TB, threads, channels, workers int) *Contr
 // GOMAXPROCS-sized (which is at least one).
 func TestResolveParallelism(t *testing.T) {
 	cases := []struct{ p, channels, wantMax, wantMin int }{
-		{0, 4, 1, 1},   // default: serial
-		{1, 4, 1, 1},   // explicit serial
-		{2, 4, 2, 2},   // within budget
-		{16, 4, 4, 4},  // clamped to channels
-		{3, 1, 1, 1},   // single channel can never parallelize
-		{-1, 8, 8, 1},  // auto: GOMAXPROCS, clamped to channels
-		{-1, 1, 1, 1},  // auto on one channel stays serial
+		{0, 4, 1, 1},  // default: serial
+		{1, 4, 1, 1},  // explicit serial
+		{2, 4, 2, 2},  // within budget
+		{16, 4, 4, 4}, // clamped to channels
+		{3, 1, 1, 1},  // single channel can never parallelize
+		{-1, 8, 8, 1}, // auto: GOMAXPROCS, clamped to channels
+		{-1, 1, 1, 1}, // auto on one channel stays serial
 	}
 	for _, tc := range cases {
 		got := resolveParallelism(tc.p, tc.channels)

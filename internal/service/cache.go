@@ -35,12 +35,29 @@ func Key(cfg sim.Config, workload []string) string {
 // disk, so a restarted server keeps serving previously computed
 // configurations. Disk I/O failures degrade to cache misses — the
 // cache is an accelerator, never a correctness dependency.
+//
+// Spilled entries are wrapped in a checksummed envelope (cacheEnvelope)
+// so at-rest corruption is detected on load: a damaged entry is
+// quarantined as <key>.json.corrupt and treated as a miss, never served
+// as a wrong Result. DESIGN.md §17 documents the format.
 type Cache struct {
 	mu     sync.Mutex
 	dir    string
 	mem    map[string]*sim.Result
 	hits   int64
 	misses int64
+	chaos  *Chaos
+}
+
+// cacheEnvelope is the on-disk spill format: the Result JSON plus the
+// SHA-256 of exactly those bytes, verified on every load.
+type cacheEnvelope struct {
+	// V is the envelope format version (1).
+	V int `json:"v"`
+	// Sum is the hex SHA-256 of the Result field's raw bytes.
+	Sum string `json:"sum"`
+	// Result is the marshaled sim.Result, byte-for-byte as checksummed.
+	Result json.RawMessage `json:"result"`
 }
 
 // NewCache builds a cache; dir == "" disables the disk spill.
@@ -85,38 +102,87 @@ func (c *Cache) Put(key string, res *sim.Result) error {
 	if dir == "" {
 		return nil
 	}
-	data, err := json.Marshal(res)
+	raw, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("service: cache encode: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	sum := sha256.Sum256(raw)
+	if action, ok := c.chaos.at("cache.put"); ok {
+		switch action {
+		case ActionError:
+			return fmt.Errorf("service: cache spill: %w", ErrInjected)
+		case ActionCorrupt:
+			// Damage the checksummed bytes AFTER summing, so the spill
+			// lands on disk exactly as at-rest corruption would. Flip a
+			// digit so the payload stays valid JSON — the nastiest kind
+			// of corruption, caught only by the checksum.
+			raw = append(json.RawMessage(nil), raw...)
+			for i, b := range raw {
+				if b >= '0' && b <= '9' {
+					raw[i] = b ^ 0x01
+					break
+				}
+			}
+		case ActionCrash:
+			panic(chaosCrash{point: "cache.put"})
+		}
+	}
+	data, err := json.Marshal(cacheEnvelope{V: 1, Sum: hex.EncodeToString(sum[:]), Result: raw})
 	if err != nil {
-		return fmt.Errorf("service: cache spill: %w", err)
+		return fmt.Errorf("service: cache encode: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: cache spill: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: cache spill: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicWrite(c.path(key), data); err != nil {
 		return fmt.Errorf("service: cache spill: %w", err)
 	}
 	return nil
 }
 
-// load reads one spilled entry; callers hold c.mu.
+// load reads and verifies one spilled entry; callers hold c.mu. Any
+// damage — truncation, a checksum mismatch, an unversioned or empty
+// file — quarantines the entry as .corrupt and returns an error, which
+// Get surfaces as a miss.
 func (c *Cache) load(key string) (*sim.Result, error) {
-	data, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	if action, ok := c.chaos.at("cache.get"); ok {
+		switch action {
+		case ActionError:
+			return nil, fmt.Errorf("service: cache load: %w", ErrInjected)
+		case ActionCorrupt:
+			data = append([]byte(nil), data...)
+			corruptByte(data)
+		}
+	}
+	res, err := decodeCacheEntry(key, data)
+	if err != nil {
+		os.Rename(path, path+".corrupt")
+		return nil, err
+	}
+	return res, nil
+}
+
+// decodeCacheEntry verifies the envelope and unwraps the Result.
+func decodeCacheEntry(key string, data []byte) (*sim.Result, error) {
+	var env cacheEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("service: corrupt cache entry %s: %w", key, err)
+	}
+	if env.V != 1 {
+		return nil, fmt.Errorf("service: corrupt cache entry %s: unsupported envelope version %d", key, env.V)
+	}
+	want, err := hex.DecodeString(env.Sum)
+	if err != nil || len(want) != sha256.Size {
+		return nil, fmt.Errorf("service: corrupt cache entry %s: malformed checksum", key)
+	}
+	sum := sha256.Sum256(env.Result)
+	if !hmacEqual(sum[:], want) {
+		return nil, fmt.Errorf("service: corrupt cache entry %s: checksum mismatch", key)
+	}
 	var res sim.Result
-	if err := json.Unmarshal(data, &res); err != nil {
+	if err := json.Unmarshal(env.Result, &res); err != nil {
 		return nil, fmt.Errorf("service: corrupt cache entry %s: %w", key, err)
 	}
 	return &res, nil

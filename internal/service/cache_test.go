@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -104,5 +105,143 @@ func TestKeyDistinguishesWorkloads(t *testing.T) {
 	cfg2.Seed = 99
 	if Key(cfg2, []string{"mcf", "libquantum"}) == base {
 		t.Error("config changes do not change the key")
+	}
+}
+
+// TestCacheEnvelopeDetectsBitFlip: a single flipped bit inside a
+// spilled entry's result bytes — silent at-rest corruption that still
+// parses as JSON — must fail the checksum, quarantine the entry as
+// .corrupt, and read as a miss.
+func TestCacheEnvelopeDetectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	key := Key(sim.DefaultConfig(sim.PolicySTFM, 2), []string{"mcf"})
+	first, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Put(key, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the result payload (past the envelope header),
+	// choosing an offset that keeps the JSON structurally valid.
+	i := bytes.Index(raw, []byte(`"instructions"`))
+	if i < 0 {
+		t.Fatalf("envelope has no result payload: %s", raw)
+	}
+	raw[i+len(`"instructions":3`)] ^= 0x01 // 300000 -> 200000 or 100000
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := second.Get(key); ok {
+		t.Fatal("bit-flipped entry served as a hit")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt entry not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry still present under its live name")
+	}
+}
+
+// TestCacheZeroLengthEntryQuarantined: an empty spill file (e.g. from
+// an interrupted copy) is quarantined and misses.
+func TestCacheZeroLengthEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := Key(sim.DefaultConfig(sim.PolicySTFM, 2), []string{"libquantum"})
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("zero-length entry served as a hit")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("zero-length entry not quarantined: %v", err)
+	}
+}
+
+// TestCacheTruncatedEntryQuarantined: a spill cut short mid-envelope
+// misses and quarantines.
+func TestCacheTruncatedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := Key(sim.DefaultConfig(sim.PolicyFRFCFS, 2), []string{"mcf"})
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(key, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("truncated entry not quarantined: %v", err)
+	}
+}
+
+// TestCacheChaosFaults: the injection points on the spill path — an
+// injected Put corruption is caught on the next load, an injected Get
+// error degrades to a miss, and an injected Put error is surfaced for
+// logging while the in-memory entry still serves.
+func TestCacheChaosFaults(t *testing.T) {
+	dir := t.TempDir()
+	key := Key(sim.DefaultConfig(sim.PolicyPARBS, 2), []string{"mcf"})
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.chaos = NewChaos(ChaosRule{Point: "cache.put", Visit: 1, Action: ActionCorrupt})
+	if err := c1.Put(key, sampleResult()); err != nil {
+		t.Fatal(err) // the corrupted spill itself succeeds
+	}
+	if _, ok := c1.Get(key); !ok {
+		t.Fatal("in-memory entry lost")
+	}
+
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("corrupted spill served as a hit on reload")
+	}
+
+	c3, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3.chaos = NewChaos(ChaosRule{Point: "cache.put", Visit: 1, Action: ActionError})
+	if err := c3.Put(key, sampleResult()); err == nil {
+		t.Fatal("injected Put error not surfaced")
+	}
+	if _, ok := c3.Get(key); !ok {
+		t.Fatal("in-memory entry must survive a failed spill")
 	}
 }

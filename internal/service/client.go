@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -14,8 +17,31 @@ import (
 // Client is a thin consumer of the stfm-server HTTP API. The zero
 // Client is not usable; construct with NewClient.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+	// sleep waits between attempts; tests swap it to observe backoff
+	// without wall-clock delays. nil selects a ctx-aware timer wait.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// RetryPolicy makes the client resilient to transient failures:
+// connection errors, 429 backpressure (honoring the server's
+// Retry-After), and 502/503/504 replies are retried with capped
+// exponential backoff plus jitter. Other statuses — including 500,
+// which the API also uses for a failed job's result — are never
+// retried. Safe for every endpoint: submissions are idempotent by
+// content fingerprint, so a retried Submit that raced a crash dedups
+// into the same jobs.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// 0 or 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the first backoff; 0 selects 100ms. Attempt n waits
+	// BaseDelay<<(n-1) plus up to 50% jitter.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (before jitter); 0 selects 5s.
+	MaxDelay time.Duration
 }
 
 // NewClient targets a server base URL such as "http://127.0.0.1:8080".
@@ -27,10 +53,21 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
 }
 
+// WithRetry installs a retry policy and returns the client.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p
+	return c
+}
+
 // APIError is a non-2xx server reply.
 type APIError struct {
-	Status  int
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error body.
 	Message string
+	// RetryAfter is the parsed Retry-After header (0 when absent); the
+	// retry loop uses it as the backoff floor for 429 replies.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -38,45 +75,158 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("service: server returned %d: %s", e.Status, e.Message)
 }
 
-// do issues one request and decodes the JSON reply into out (when
-// non-nil). Non-2xx replies become *APIError.
+// transientError marks a failure worth retrying that is not an HTTP
+// status: a refused connection, a reset mid-body. Unwrap exposes the
+// cause; the type never escapes do(), which returns the final
+// attempt's underlying error.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// do issues one request, retrying per the client's RetryPolicy, and
+// decodes the JSON reply into out (when non-nil). Non-2xx replies
+// become *APIError; the error from the final attempt is returned
+// unwrapped, so callers keep matching errors.As(*APIError) regardless
+// of how many retries preceded it.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, data, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		delay, retryable := c.retryDelay(err, attempt)
+		if !retryable || attempt >= attempts || ctx.Err() != nil {
+			var te *transientError
+			if errors.As(err, &te) {
+				return te.err
+			}
+			return err
+		}
+		if serr := c.wait(ctx, delay); serr != nil {
+			var te *transientError
+			if errors.As(err, &te) {
+				return te.err
+			}
+			return err
+		}
+	}
+}
+
+// doOnce is one request/response cycle.
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return &transientError{err: err}
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	replyData, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		return err
+		return &transientError{err: err}
 	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		var eb errorBody
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		msg := strings.TrimSpace(string(replyData))
+		if json.Unmarshal(replyData, &eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		ae := &APIError{Status: resp.StatusCode, Message: msg}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
 	}
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(data, out)
+	return json.Unmarshal(replyData, out)
+}
+
+// retryDelay classifies err and computes the backoff before the next
+// attempt: capped exponential from the policy, raised to the server's
+// Retry-After on 429, with up to 50% jitter so synchronized clients
+// spread out.
+func (c *Client) retryDelay(err error, attempt int) (time.Duration, bool) {
+	var floor time.Duration
+	var ae *APIError
+	var te *transientError
+	switch {
+	case errors.As(err, &ae):
+		switch ae.Status {
+		case http.StatusTooManyRequests:
+			floor = ae.RetryAfter
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		default:
+			return 0, false
+		}
+	case errors.As(err, &te):
+	default:
+		return 0, false
+	}
+	base := c.retry.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxDelay := c.retry.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	delay := base
+	for i := 1; i < attempt && delay < maxDelay; i++ {
+		delay *= 2
+	}
+	if delay > maxDelay {
+		delay = maxDelay
+	}
+	if delay < floor {
+		delay = floor
+	}
+	if delay > 0 {
+		delay += time.Duration(rand.Int63n(int64(delay)/2 + 1))
+	}
+	return delay, true
+}
+
+// wait sleeps for d or until ctx is done.
+func (c *Client) wait(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Submit posts a job request and returns the created jobs.

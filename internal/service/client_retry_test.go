@@ -1,0 +1,214 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordedSleeps installs a no-wall-clock sleep hook on the client and
+// returns the recorded backoff delays.
+func recordedSleeps(c *Client) *[]time.Duration {
+	var delays []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return ctx.Err()
+	}
+	return &delays
+}
+
+// flakyServer answers the first fail requests with status, then
+// delegates to ok.
+func flakyServer(fail int, status int, retryAfter string, ok http.HandlerFunc) (*httptest.Server, *int32) {
+	var calls int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= int32(fail) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, fmt.Sprintf("transient %d", status), status)
+			return
+		}
+		ok(w, r)
+	})
+	return httptest.NewServer(h), &calls
+}
+
+func statsOK(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"workers": 4}`)
+}
+
+// TestClientRetriesTransient5xx: 503 replies are retried with growing
+// backoff until the server recovers.
+func TestClientRetriesTransient5xx(t *testing.T) {
+	srv, calls := flakyServer(2, http.StatusServiceUnavailable, "", statsOK)
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond})
+	delays := recordedSleeps(c)
+
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 4 {
+		t.Errorf("stats = %+v, want workers 4", st)
+	}
+	if *calls != 3 {
+		t.Errorf("server saw %d requests, want 3", *calls)
+	}
+	if len(*delays) != 2 {
+		t.Fatalf("client backed off %d times, want 2", len(*delays))
+	}
+	if (*delays)[0] < 10*time.Millisecond || (*delays)[1] < 20*time.Millisecond {
+		t.Errorf("backoff %v did not grow from the 10ms base", *delays)
+	}
+}
+
+// TestClientHonorsRetryAfter: a 429's Retry-After header floors the
+// backoff regardless of the policy's base delay.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	srv, calls := flakyServer(1, http.StatusTooManyRequests, "2", statsOK)
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	delays := recordedSleeps(c)
+
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 2 {
+		t.Errorf("server saw %d requests, want 2", *calls)
+	}
+	if len(*delays) != 1 || (*delays)[0] < 2*time.Second {
+		t.Errorf("backoff %v ignored Retry-After: 2", *delays)
+	}
+}
+
+// TestClientDoesNotRetry500: plain 500 is not transient — the API uses
+// it for a failed job's result — so it must surface immediately.
+func TestClientDoesNotRetry500(t *testing.T) {
+	srv, calls := flakyServer(100, http.StatusInternalServerError, "", statsOK)
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	recordedSleeps(c)
+
+	_, err := c.Stats(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusInternalServerError {
+		t.Fatalf("error = %v, want *APIError 500", err)
+	}
+	if *calls != 1 {
+		t.Errorf("server saw %d requests, want 1 (no retries)", *calls)
+	}
+}
+
+// failingTransport errors the first fail round trips, then delegates.
+type failingTransport struct {
+	fail  int32
+	calls int32
+	next  http.RoundTripper
+}
+
+func (f *failingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if atomic.AddInt32(&f.calls, 1) <= f.fail {
+		return nil, errors.New("connection refused (injected)")
+	}
+	return f.next.RoundTrip(req)
+}
+
+// TestClientRetriesConnectionErrors: transport-level failures (refused
+// connections, resets) are retried, and the final failure surfaces the
+// underlying error, not a wrapper.
+func TestClientRetriesConnectionErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(statsOK))
+	defer srv.Close()
+	ft := &failingTransport{fail: 2, next: http.DefaultTransport}
+	c := NewClient(srv.URL, &http.Client{Transport: ft}).WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	recordedSleeps(c)
+
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ft.calls != 3 {
+		t.Errorf("transport saw %d attempts, want 3", ft.calls)
+	}
+
+	// Exhaustion: every attempt fails; the cause comes back unwrapped.
+	ft2 := &failingTransport{fail: 100, next: http.DefaultTransport}
+	c2 := NewClient(srv.URL, &http.Client{Transport: ft2}).WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	recordedSleeps(c2)
+	_, err := c2.Stats(context.Background())
+	if err == nil {
+		t.Fatal("exhausted retries returned nil error")
+	}
+	var te *transientError
+	if errors.As(err, &te) {
+		t.Error("internal transientError wrapper escaped to the caller")
+	}
+	if ft2.calls != 3 {
+		t.Errorf("transport saw %d attempts, want 3 (MaxAttempts)", ft2.calls)
+	}
+}
+
+// TestClientExhaustionPreservesAPIError: when retries run out on an
+// HTTP error, callers still get the structured *APIError.
+func TestClientExhaustionPreservesAPIError(t *testing.T) {
+	srv, calls := flakyServer(100, http.StatusServiceUnavailable, "", statsOK)
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	recordedSleeps(c)
+
+	_, err := c.Stats(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("error = %v, want *APIError 503", err)
+	}
+	if *calls != 3 {
+		t.Errorf("server saw %d requests, want 3", *calls)
+	}
+}
+
+// TestClientStopsRetryingOnCanceledContext: cancellation during backoff
+// ends the retry loop with the last real error, without another
+// request.
+func TestClientStopsRetryingOnCanceledContext(t *testing.T) {
+	srv, calls := flakyServer(100, http.StatusServiceUnavailable, "", statsOK)
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+
+	_, err := c.Stats(ctx)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("error = %v, want the last *APIError 503", err)
+	}
+	if *calls != 1 {
+		t.Errorf("server saw %d requests after cancellation, want 1", *calls)
+	}
+}
+
+// TestClientDefaultNoRetry: without a policy the client behaves as
+// before — one attempt, errors surface immediately.
+func TestClientDefaultNoRetry(t *testing.T) {
+	srv, calls := flakyServer(100, http.StatusServiceUnavailable, "", statsOK)
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+
+	_, err := c.Stats(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("error = %v, want *APIError 503", err)
+	}
+	if *calls != 1 {
+		t.Errorf("server saw %d requests, want 1", *calls)
+	}
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"stfm/internal/sim"
+)
+
+// TestCrashRecoveryE2E is the real thing: the stfm-server binary,
+// kill -9 mid-job, a restart over the same journal, and the recovered
+// job's result compared bit-for-bit against an uninterrupted in-process
+// run. Everything the in-process recovery suite proves with injected
+// faults, this proves with an actual SIGKILL.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess E2E skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "stfm-server")
+	build := exec.Command(goBin, "build", "-o", bin, "./cmd/stfm-server")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("cannot build stfm-server: %v\n%s", err, out)
+	}
+
+	journalDir := t.TempDir()
+	cacheDir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-workers", "1",
+		"-journal-dir", journalDir,
+		"-cache-dir", cacheDir,
+		"-checkpoint-every", "100000",
+	}
+
+	// A job long enough (~1.5s) that SIGKILL reliably lands mid-run,
+	// with checkpoints every ~100k CPU cycles (a few milliseconds).
+	cfg := sim.DefaultConfig(sim.PolicySTFM, 2)
+	cfg.InstrTarget = 1_000_000
+	cfg.Seed = 99
+	workload := []string{"mcf", "libquantum"}
+	want := referenceResult(t, cfg, workload)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	proc1, addr1 := startServer(t, ctx, bin, args)
+	client1 := NewClient("http://"+addr1, http.DefaultClient)
+	resp, err := client1.Submit(ctx, JobRequest{Config: cfg, Workload: workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Jobs[0].ID
+
+	// Wait for at least one checkpoint to land on disk, then SIGKILL —
+	// no drain, no journal close, no flush beyond what already fsynced.
+	ckpt := filepath.Join(journalDir, "checkpoints", id+".ckpt")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if info, err := client1.Job(ctx, id); err == nil && info.Status.Terminal() {
+			t.Fatalf("job finished (%s) before a checkpoint appeared; raise InstrTarget", info.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint file ever appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := proc1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	proc1.Wait()
+
+	proc2, addr2 := startServer(t, ctx, bin, args)
+	defer func() {
+		proc2.Process.Signal(syscall.SIGTERM)
+		proc2.Wait()
+	}()
+	client2 := NewClient("http://"+addr2, http.DefaultClient).
+		WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond})
+
+	info, err := client2.Wait(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != StatusDone {
+		t.Fatalf("recovered job finished %s (error %q), want done", info.Status, info.Error)
+	}
+	if !info.Recovered {
+		t.Error("job not marked Recovered after the restart")
+	}
+	if info.ResumedFromCycle <= 0 {
+		t.Errorf("job resumed from cycle %d, want a positive checkpoint cycle", info.ResumedFromCycle)
+	}
+	rr, err := client2.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rr.Result, want) {
+		t.Error("post-crash result differs from the uninterrupted in-process run")
+	}
+}
+
+// startServer launches the binary and parses its "listening on" line.
+func startServer(t *testing.T, ctx context.Context, bin string, args []string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "stfm-server: listening on "); ok {
+			// Keep draining stdout so the server never blocks on a full
+			// pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return cmd, addr
+		}
+	}
+	cmd.Process.Kill()
+	t.Fatal("server never reported its listen address")
+	return nil, ""
+}

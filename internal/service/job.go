@@ -81,9 +81,17 @@ type JobInfo struct {
 	Cached bool `json:"cached"`
 	// Error carries the failure or cancellation cause for terminal
 	// non-done jobs.
-	Error       string    `json:"error,omitempty"`
-	Progress    Progress  `json:"progress"`
-	SubmittedAt time.Time `json:"submittedAt"`
+	Error    string   `json:"error,omitempty"`
+	Progress Progress `json:"progress"`
+	// Recovered marks jobs reconstructed from the durable journal after
+	// a server restart (DESIGN.md §17) rather than submitted to this
+	// process.
+	Recovered bool `json:"recovered,omitempty"`
+	// ResumedFromCycle is the CPU cycle the job's execution resumed
+	// from when it was restored from a checkpoint instead of starting
+	// over; 0 for jobs that ran from cycle zero.
+	ResumedFromCycle int64     `json:"resumedFromCycle,omitempty"`
+	SubmittedAt      time.Time `json:"submittedAt"`
 	// StartedAt / FinishedAt are zero until the job reaches the
 	// corresponding state.
 	StartedAt  time.Time `json:"startedAt"`
@@ -124,6 +132,13 @@ type job struct {
 	timeout     time.Duration
 	submittedAt time.Time
 
+	// recovered / resumeFrom are set during journal replay, before the
+	// job is published: recovered marks the job as reconstructed from
+	// the WAL, resumeFrom points at its last persisted checkpoint ("" to
+	// run from scratch).
+	recovered  bool
+	resumeFrom string
+
 	mu         sync.Mutex
 	status     JobStatus
 	cached     bool
@@ -133,6 +148,31 @@ type job struct {
 	col        *telemetry.Collector
 	startedAt  time.Time
 	finishedAt time.Time
+	// resumedFromCycle records where a checkpoint restore landed.
+	resumedFromCycle int64
+	// crashRequested is set by the fault-injection harness when a
+	// checkpoint-write crash rule fires mid-run: the worker must unwind
+	// as a dead process, skipping every piece of completion bookkeeping.
+	crashRequested bool
+}
+
+// requestCrash flags the job for simulated process death and aborts
+// its run so the worker unwinds promptly.
+func (j *job) requestCrash() {
+	j.mu.Lock()
+	j.crashRequested = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// crashWasRequested reports whether a crash rule fired during the run.
+func (j *job) crashWasRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.crashRequested
 }
 
 // info snapshots the job's wire representation.
@@ -140,16 +180,18 @@ func (j *job) info() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	inf := JobInfo{
-		ID:          j.id,
-		Status:      j.status,
-		Policy:      j.cfg.Policy,
-		Workload:    j.workload,
-		Fingerprint: j.fp,
-		Cached:      j.cached,
-		Progress:    j.progressLocked(),
-		SubmittedAt: j.submittedAt,
-		StartedAt:   j.startedAt,
-		FinishedAt:  j.finishedAt,
+		ID:               j.id,
+		Status:           j.status,
+		Policy:           j.cfg.Policy,
+		Workload:         j.workload,
+		Fingerprint:      j.fp,
+		Cached:           j.cached,
+		Recovered:        j.recovered,
+		ResumedFromCycle: j.resumedFromCycle,
+		Progress:         j.progressLocked(),
+		SubmittedAt:      j.submittedAt,
+		StartedAt:        j.startedAt,
+		FinishedAt:       j.finishedAt,
 	}
 	if j.err != nil {
 		inf.Error = j.err.Error()

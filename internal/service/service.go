@@ -18,6 +18,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -45,6 +47,23 @@ type Options struct {
 	// executed job, in DRAM cycles; 0 selects 5000, negative disables
 	// progress reporting.
 	SampleEvery int64
+	// JournalDir enables the durable job journal (DESIGN.md §17): job
+	// lifecycle records are written ahead to an fsynced WAL under this
+	// directory and replayed at startup, so a crashed or restarted
+	// server re-enqueues pending jobs and resumes running ones from
+	// their last checkpoint. "" disables journaling (jobs die with the
+	// process, the pre-§17 behavior).
+	JournalDir string
+	// CheckpointEvery is the checkpoint period for journaled jobs, in
+	// CPU cycles; 0 selects 250000, negative disables checkpointing
+	// (recovered jobs restart from cycle zero). Ignored without
+	// JournalDir. Checkpoint boundaries are schedule-neutral, so the
+	// period does not change results — only how much work a crash can
+	// lose.
+	CheckpointEvery int64
+	// Chaos installs the deterministic fault-injection harness on the
+	// server's durability paths; nil runs fault-free. Test use.
+	Chaos *Chaos
 	// JobParallel caps each job's channel-parallel stepping workers
 	// (sim.Config.Parallel, DESIGN.md §16) so jobs cannot oversubscribe
 	// a host already running Workers simultaneous simulations: a job
@@ -67,6 +86,13 @@ type Server struct {
 	queue *queue
 	cache *Cache
 	start time.Time
+
+	// wal / ckptDir are the durable-journal state; nil/"" when
+	// Options.JournalDir is unset. chaos is the fault-injection
+	// harness (nil-safe).
+	wal     *wal
+	ckptDir string
+	chaos   *Chaos
 
 	// baseCtx parents every job context; abort cancels it when a
 	// drain deadline forces running jobs to stop.
@@ -107,12 +133,46 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache.chaos = opts.Chaos
 	s := &Server{
 		opts:  opts,
-		queue: newQueue(opts.QueueSize),
 		cache: cache,
 		start: time.Now(),
 		jobs:  make(map[string]*job),
+		chaos: opts.Chaos,
+	}
+	// Journal replay happens before the queue exists so the queue can be
+	// sized to hold every re-enqueued job: recovery must never drop work
+	// to backpressure meant for fresh submissions.
+	var pending []*job
+	if opts.JournalDir != "" {
+		s.ckptDir = filepath.Join(opts.JournalDir, "checkpoints")
+		if err := os.MkdirAll(s.ckptDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: checkpoint dir: %w", err)
+		}
+		w, records, werr := openWAL(opts.JournalDir, s.chaos)
+		if werr != nil {
+			var walErr *WALError
+			if !errors.As(werr, &walErr) {
+				return nil, werr
+			}
+			// Mid-file damage: the valid prefix was recovered and the
+			// damaged file quarantined. Loud but non-fatal.
+			s.logf("journal: %v", werr)
+		}
+		s.wal = w
+		pending = s.recoverJobs(replayJobs(records))
+	}
+	queueSize := opts.QueueSize
+	if len(pending) > queueSize {
+		queueSize = len(pending)
+	}
+	s.queue = newQueue(queueSize)
+	if len(pending) > 0 {
+		if err := s.queue.TryEnqueue(pending...); err != nil {
+			return nil, fmt.Errorf("service: re-enqueue recovered jobs: %w", err)
+		}
+		s.logf("journal: recovered %d pending job(s)", len(pending))
 	}
 	s.baseCtx, s.abort = context.WithCancel(context.Background())
 	for i := 0; i < opts.Workers; i++ {
@@ -120,6 +180,77 @@ func New(opts Options) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// recoverJobs rebuilds the job table from replayed journal state:
+// terminal jobs reappear with their recorded outcome (done jobs served
+// from the result cache), pending jobs are returned for re-enqueueing —
+// resuming from their last checkpoint when one was journaled. The job
+// ID sequence advances past every recovered ID so new submissions
+// cannot collide.
+func (s *Server) recoverJobs(replays []jobReplay) []*job {
+	var pending []*job
+	for _, r := range replays {
+		cfg := *r.submit.Config
+		workload := r.submit.Workload
+		profs, err := experiments.Profiles(workload...)
+		if err != nil {
+			s.logf("journal: job %s: unknown workload, dropped: %v", r.submit.Job, err)
+			continue
+		}
+		fp := r.submit.Fingerprint
+		if fp == "" {
+			fp = Key(cfg, workload)
+		}
+		j := &job{
+			id:          r.submit.Job,
+			cfg:         cfg,
+			workload:    append([]string(nil), workload...),
+			profiles:    profs,
+			fp:          fp,
+			maxCycles:   cfg.CycleBudget(profs),
+			timeout:     time.Duration(r.submit.TimeoutMS) * time.Millisecond,
+			submittedAt: time.Now(),
+			recovered:   true,
+			status:      StatusQueued,
+		}
+		for _, t := range cfg.InstrTargets(profs) {
+			j.targetInstr += t
+		}
+		if seq := parseJobSeq(j.id); seq > s.seq {
+			s.seq = seq
+		}
+		switch {
+		case r.done && r.complete.Status == StatusDone:
+			if res, ok := s.cache.Get(fp); ok {
+				j.status = StatusDone
+				j.cached = true
+				j.result = res
+				j.finishedAt = time.Now()
+			} else {
+				// Journal says done but the result did not survive (cache
+				// was memory-only, or the spill was corrupted): recompute.
+				if r.hasCkpt {
+					j.resumeFrom = r.checkpoint.Path
+				}
+				pending = append(pending, j)
+			}
+		case r.done:
+			j.status = r.complete.Status
+			if r.complete.Error != "" {
+				j.err = errors.New(r.complete.Error)
+			}
+			j.finishedAt = time.Now()
+		default:
+			if r.hasCkpt {
+				j.resumeFrom = r.checkpoint.Path
+			}
+			pending = append(pending, j)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	return pending
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -151,6 +282,24 @@ func (s *Server) Submit(req JobRequest) (*SubmitResponse, error) {
 		}
 	}
 	if len(fresh) > 0 {
+		// Write-ahead: each accepted job is journaled before it is
+		// enqueued, so a crash after this point can never lose it. An
+		// append failure degrades to the unjournaled pre-§17 behavior
+		// for that job rather than rejecting the submission.
+		for _, j := range fresh {
+			cfg := j.cfg
+			rec := walRecord{
+				Type:        walSubmit,
+				Job:         j.id,
+				Config:      &cfg,
+				Workload:    j.workload,
+				TimeoutMS:   j.timeout.Milliseconds(),
+				Fingerprint: j.fp,
+			}
+			if err := s.wal.append(rec); err != nil {
+				s.logf("job %s: %v", j.id, err)
+			}
+		}
 		if err := s.queue.TryEnqueue(fresh...); err != nil {
 			return nil, err
 		}
@@ -331,11 +480,13 @@ func (s *Server) Cancel(id string) (JobInfo, bool) {
 		return JobInfo{}, false
 	}
 	j.mu.Lock()
+	var journalCancel bool
 	switch j.status {
 	case StatusQueued:
 		j.status = StatusCanceled
 		j.err = sim.ErrCanceled
 		j.finishedAt = time.Now()
+		journalCancel = true
 		s.mu.Lock()
 		s.canceled++
 		s.mu.Unlock()
@@ -345,19 +496,44 @@ func (s *Server) Cancel(id string) (JobInfo, bool) {
 		}
 	}
 	j.mu.Unlock()
+	if journalCancel {
+		// Canceled-while-queued jobs never reach runJob's completion
+		// journaling; record the terminal state here or a restart would
+		// resurrect them.
+		rec := walRecord{Type: walComplete, Job: j.id, Status: StatusCanceled, Error: sim.ErrCanceled.Error()}
+		if err := s.wal.append(rec); err != nil {
+			s.logf("job %s: %v", j.id, err)
+		}
+	}
 	return j.info(), true
 }
 
-// worker consumes jobs until the queue closes.
+// worker consumes jobs until the queue closes. A simulated process
+// death (fault injection, DESIGN.md §17) retires the worker exactly as
+// a kill -9 would: mid-job, with no completion bookkeeping run.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue.Chan() {
-		s.runJob(j)
+		if s.runJob(j) {
+			return
+		}
 	}
 }
 
-// runJob executes one dequeued job through sim.RunContext.
-func (s *Server) runJob(j *job) {
+// runJob executes one dequeued job and reports whether a simulated
+// crash killed the worker mid-job (in which case every completion side
+// effect — journal record, counters, cache spill — was skipped, leaving
+// exactly the state a real crash leaves for the next boot to recover).
+func (s *Server) runJob(j *job) (crashed bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := v.(chaosCrash); ok {
+				crashed = true
+				return
+			}
+			panic(v)
+		}
+	}()
 	j.mu.Lock()
 	if j.status != StatusQueued {
 		// Canceled while waiting in the queue.
@@ -401,8 +577,18 @@ func (s *Server) runJob(j *job) {
 	s.running++
 	s.mu.Unlock()
 
-	res, err := sim.RunContext(ctx, cfg, j.profiles)
+	if werr := s.wal.append(walRecord{Type: walStart, Job: j.id}); werr != nil {
+		s.logf("job %s: %v", j.id, werr)
+	}
+
+	res, err := s.execute(ctx, j, cfg)
 	cancel()
+
+	if j.crashWasRequested() {
+		// A checkpoint-write crash rule fired mid-run: die here, before
+		// any completion side effect, exactly like the injected kill.
+		panic(chaosCrash{point: "checkpoint.write"})
+	}
 
 	j.mu.Lock()
 	j.cancel = nil
@@ -425,9 +611,24 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 
 	if status == StatusDone {
+		// Spill the result before journaling completion: a "done" record
+		// implies the result is retrievable, so a crash between the two
+		// re-runs the job instead of losing its result.
 		if cerr := s.cache.Put(j.fp, res); cerr != nil {
 			s.logf("job %s: %v", j.id, cerr)
 		}
+	}
+	rec := walRecord{Type: walComplete, Job: j.id, Status: status}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if werr := s.wal.append(rec); werr != nil {
+		s.logf("job %s: %v", j.id, werr)
+	}
+	if s.ckptDir != "" {
+		// The journal has the job's terminal state; its checkpoint is
+		// dead weight now.
+		os.Remove(filepath.Join(s.ckptDir, j.id+".ckpt"))
 	}
 
 	s.mu.Lock()
@@ -447,6 +648,138 @@ func (s *Server) runJob(j *job) {
 	} else {
 		s.logf("job %s: done in %s", j.id, wall.Round(time.Millisecond))
 	}
+	return false
+}
+
+// defaultCheckpointEvery is the checkpoint period (CPU cycles) when
+// journaling is on and Options.CheckpointEvery is 0.
+const defaultCheckpointEvery = 250_000
+
+// execute runs one job's simulation: restored from its checkpoint when
+// recovery handed it one (falling back to a fresh run — with the
+// damaged checkpoint quarantined — when the file is missing or fails
+// verification), checkpointed periodically when journaling is enabled.
+func (s *Server) execute(ctx context.Context, j *job, cfg sim.Config) (*sim.Result, error) {
+	sink := s.checkpointSink(j)
+	if j.resumeFrom != "" {
+		if sys := s.restoreSystem(j, cfg); sys != nil {
+			if sink != nil {
+				return sys.RunCheckpointed(ctx, sink)
+			}
+			return sys.RunContext(ctx)
+		}
+	}
+	sys, err := sim.NewSystem(cfg, j.profiles)
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		return sys.RunCheckpointed(ctx, sink)
+	}
+	return sys.RunContext(ctx)
+}
+
+// restoreSystem rebuilds a job's simulator from its last checkpoint.
+// Any failure — missing file, checksum mismatch, shape validation —
+// quarantines the artifact as .corrupt and returns nil so the caller
+// reruns from scratch: a damaged checkpoint costs recomputation, never
+// a wrong result and never a lost job.
+func (s *Server) restoreSystem(j *job, cfg sim.Config) *sim.System {
+	data, err := os.ReadFile(j.resumeFrom)
+	if err != nil {
+		s.logf("job %s: checkpoint unreadable, running from scratch: %v", j.id, err)
+		return nil
+	}
+	sys, err := sim.Restore(data, &sim.RestoreOptions{Telemetry: j.col, Parallel: &cfg.Parallel})
+	if err != nil {
+		if qerr := quarantine(j.resumeFrom); qerr != nil {
+			s.logf("job %s: %v", j.id, qerr)
+		}
+		s.logf("job %s: checkpoint rejected (quarantined as .corrupt), running from scratch: %v", j.id, err)
+		return nil
+	}
+	j.mu.Lock()
+	j.resumedFromCycle = sys.Now()
+	j.mu.Unlock()
+	s.logf("job %s: resumed from checkpoint at cycle %d", j.id, sys.Now())
+	return sys
+}
+
+// checkpointSink builds the periodic-snapshot sink for a journaled job;
+// nil when journaling or checkpointing is disabled.
+func (s *Server) checkpointSink(j *job) *sim.CheckpointSink {
+	if s.wal == nil || s.ckptDir == "" {
+		return nil
+	}
+	every := s.opts.CheckpointEvery
+	if every == 0 {
+		every = defaultCheckpointEvery
+	}
+	if every < 0 {
+		return nil
+	}
+	path := filepath.Join(s.ckptDir, j.id+".ckpt")
+	return &sim.CheckpointSink{
+		Every: every,
+		Write: func(cycle int64, data []byte) error {
+			return s.writeCheckpoint(j, path, cycle, data)
+		},
+	}
+}
+
+// writeCheckpoint atomically persists one snapshot and journals it.
+// The checkpoint record is appended only after the rename, so the
+// journal never points at a half-written file.
+func (s *Server) writeCheckpoint(j *job, path string, cycle int64, data []byte) error {
+	if action, ok := s.chaos.at("checkpoint.write"); ok {
+		switch action {
+		case ActionError:
+			return fmt.Errorf("service: checkpoint write: %w", ErrInjected)
+		case ActionCorrupt:
+			data = append([]byte(nil), data...)
+			corruptByte(data)
+		case ActionCrash:
+			// Simulated death at the checkpoint boundary. The sink runs
+			// inside the simulator's panic recovery, so a direct panic
+			// here would be misread as a simulation failure; instead the
+			// job is flagged and its context canceled, and the worker
+			// re-raises the death once the run unwinds.
+			j.requestCrash()
+			return fmt.Errorf("service: checkpoint write: %w", ErrInjected)
+		}
+	}
+	if err := atomicWrite(path, data); err != nil {
+		return fmt.Errorf("service: checkpoint write: %w", err)
+	}
+	return s.wal.append(walRecord{Type: walCheckpoint, Job: j.id, Cycle: cycle, Path: path})
+}
+
+// atomicWrite persists data to path through a same-directory temp file,
+// fsync, and rename, so path never holds a torn write.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Stats is the GET /v1/stats body.
@@ -456,17 +789,17 @@ type Stats struct {
 	// JobParallel is the per-job stepping-worker cap applied to every
 	// executed job's Config.Parallel (Options.JobParallel; negative
 	// means uncapped).
-	JobParallel int `json:"jobParallel"`
-	Running       int     `json:"running"`
-	QueueDepth    int     `json:"queueDepth"`
-	QueueCapacity int     `json:"queueCapacity"`
-	Submitted     int64   `json:"submitted"`
-	Completed     int64   `json:"completed"`
-	Failed        int64   `json:"failed"`
-	Canceled      int64   `json:"canceled"`
-	CacheEntries  int     `json:"cacheEntries"`
-	CacheHits     int64   `json:"cacheHits"`
-	CacheMisses   int64   `json:"cacheMisses"`
+	JobParallel   int   `json:"jobParallel"`
+	Running       int   `json:"running"`
+	QueueDepth    int   `json:"queueDepth"`
+	QueueCapacity int   `json:"queueCapacity"`
+	Submitted     int64 `json:"submitted"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+	Canceled      int64 `json:"canceled"`
+	CacheEntries  int   `json:"cacheEntries"`
+	CacheHits     int64 `json:"cacheHits"`
+	CacheMisses   int64 `json:"cacheMisses"`
 	// Job wall-time distribution in milliseconds (power-of-two bucket
 	// resolution, reusing the memctrl latency histogram).
 	JobP50Ms int64 `json:"jobP50Ms"`
@@ -522,5 +855,8 @@ func (s *Server) Drain(ctx context.Context) error {
 		<-done
 	}
 	s.abort() // release the base context either way
+	if cerr := s.wal.close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }

@@ -271,10 +271,16 @@ type System struct {
 	cores    []*cpu.Core
 	hier     []*cache.Hierarchy
 	ports    []*directPort
-	stfm     *core.STFM
-	now      int64
-	frozen   []bool
-	results  []ThreadResult
+	// gens holds the synthetic trace generators, core order (empty when
+	// Config.Streams supplies the streams); policy is the scheduler
+	// instance attached to the controller. Both are retained for
+	// checkpointing (DESIGN.md §17).
+	gens    []*trace.Generator
+	policy  memctrl.Policy
+	stfm    *core.STFM
+	now     int64
+	frozen  []bool
+	results []ThreadResult
 
 	// Telemetry state: tel is nil when no collector is attached;
 	// nextSampleAt is the next sampling boundary in CPU cycles (the
@@ -350,6 +356,7 @@ func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.policy = policy
 	ctrl.SetPolicy(policy)
 
 	if cfg.Streams != nil && len(cfg.Streams) != n {
@@ -364,6 +371,7 @@ func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
 			if err != nil {
 				return nil, err
 			}
+			s.gens = append(s.gens, gen)
 			stream = gen
 		}
 		var mem cpu.Memory
@@ -663,6 +671,17 @@ const DefaultWatchdogCycles = 2_000_000
 // instead of crashing the caller. Manual stepping via Tick is not
 // protected; only RunContext installs the recovery.
 func (s *System) RunContext(ctx context.Context) (res *Result, err error) {
+	return s.runLoop(ctx, nil)
+}
+
+// runLoop is the shared engine behind RunContext and RunCheckpointed.
+// When sink is non-nil, the loop additionally observes checkpoint
+// boundaries every sink.Every CPU cycles: event-horizon jumps are
+// clamped to them (exactly like watchdog boundaries, so the schedule is
+// unchanged) and a snapshot is written at each one. Snapshotting is
+// read-only, so checkpointed runs stay bit-identical to plain ones —
+// TestRunCheckpointedEquivalence pins it.
+func (s *System) runLoop(ctx context.Context, sink *CheckpointSink) (res *Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res = nil
@@ -690,12 +709,28 @@ func (s *System) RunContext(ctx context.Context) (res *Result, err error) {
 		nextWatchdogAt = s.now + wdEvery
 	}
 	lastCommitted, lastCommands := s.progressCounters()
+	// Checkpoint boundaries are fixed cycle numbers like watchdog
+	// boundaries; a write failure disables further snapshots rather than
+	// aborting a run that is otherwise healthy.
+	nextCkptAt := int64(horizon)
+	if sink != nil && sink.Every > 0 {
+		nextCkptAt = s.now + sink.Every
+	}
 	for s.now < maxCycles && !s.allFrozen() {
 		if done != nil {
 			select {
 			case <-done:
 				return s.finish(), ctxErr(ctx, s.now)
 			default:
+			}
+		}
+		if s.now >= nextCkptAt {
+			if data, cerr := s.Checkpoint(); cerr != nil {
+				nextCkptAt = horizon
+			} else if werr := sink.Write(s.now, data); werr != nil {
+				nextCkptAt = horizon
+			} else {
+				nextCkptAt = s.now + sink.Every
 			}
 		}
 		if s.now >= nextWatchdogAt {
@@ -727,6 +762,9 @@ func (s *System) RunContext(ctx context.Context) (res *Result, err error) {
 		}
 		if next > nextWatchdogAt {
 			next = nextWatchdogAt
+		}
+		if next > nextCkptAt {
+			next = nextCkptAt
 		}
 		// Sampling boundaries inside the quiescent window still get
 		// their snapshots: jump to each boundary and sample there,

@@ -1,0 +1,109 @@
+package trace
+
+import "fmt"
+
+// This file implements checkpoint support for the workload generators
+// (DESIGN.md §17). A Generator's derived construction state — rowBase,
+// the allowed/read/writeback bank sets — is a pure function of
+// (Profile, Geometry, threadIdx) and is rebuilt by NewGenerator; the
+// snapshot carries only the mutable stream state: the PRNG, the per-run
+// cursors, and the burst bookkeeping.
+
+// State returns the PRNG's internal state word.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState overwrites the PRNG's internal state word. A zero state is
+// remapped exactly as NewRand remaps a zero seed (xorshift has a zero
+// fixed point), so a restored generator can never wedge.
+func (r *Rand) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
+// RunStateSnapshot is the serialized form of one access-run cursor.
+type RunStateSnapshot struct {
+	Channel   int `json:"channel"`
+	Bank      int `json:"bank"`
+	Row       int `json:"row"`
+	Col       int `json:"col"`
+	RunLeft   int `json:"runLeft"`
+	StreamRow int `json:"streamRow"`
+}
+
+// GeneratorState is the serialized mutable state of a Generator.
+type GeneratorState struct {
+	RNG               uint64             `json:"rng"`
+	Streams           []RunStateSnapshot `json:"streams"`
+	NextStream        int                `json:"nextStream"`
+	WB                RunStateSnapshot   `json:"wb"`
+	BurstClustersLeft int                `json:"burstClustersLeft"`
+	ClusterLeft       int                `json:"clusterLeft"`
+	PendingIdle       int64              `json:"pendingIdle"`
+	BurstsStarted     int                `json:"burstsStarted"`
+	Reads             int64              `json:"reads"`
+	Writes            int64              `json:"writes"`
+}
+
+func snapshotRun(s runState) RunStateSnapshot {
+	return RunStateSnapshot{
+		Channel: s.channel, Bank: s.bank, Row: s.row, Col: s.col,
+		RunLeft: s.runLeft, StreamRow: s.streamRow,
+	}
+}
+
+func restoreRun(s RunStateSnapshot) runState {
+	return runState{
+		channel: s.Channel, bank: s.Bank, row: s.Row, col: s.Col,
+		runLeft: s.RunLeft, streamRow: s.StreamRow,
+	}
+}
+
+// SaveState captures the generator's mutable stream state.
+func (g *Generator) SaveState() GeneratorState {
+	st := GeneratorState{
+		RNG:               g.rng.State(),
+		Streams:           make([]RunStateSnapshot, len(g.streams)),
+		NextStream:        g.nextStream,
+		WB:                snapshotRun(g.wb),
+		BurstClustersLeft: g.burstClustersLeft,
+		ClusterLeft:       g.clusterLeft,
+		PendingIdle:       g.pendingIdle,
+		BurstsStarted:     g.burstsStarted,
+		Reads:             g.reads,
+		Writes:            g.writes,
+	}
+	for i, s := range g.streams {
+		st.Streams[i] = snapshotRun(s)
+	}
+	return st
+}
+
+// RestoreState overwrites the generator's mutable stream state with a
+// previously saved snapshot. The snapshot wholesale-replaces the run
+// cursors NewGenerator primed (whose construction consumed PRNG draws),
+// so a restored generator continues the stream bit-exactly. It returns
+// an error when the snapshot's stream count does not match the
+// generator's MLP (a snapshot from a different profile).
+func (g *Generator) RestoreState(st GeneratorState) error {
+	if len(st.Streams) != len(g.streams) {
+		return fmt.Errorf("trace: snapshot has %d run streams, generator %q has %d", len(st.Streams), g.prof.Name, len(g.streams))
+	}
+	g.rng.SetState(st.RNG)
+	for i, s := range st.Streams {
+		g.streams[i] = restoreRun(s)
+	}
+	if st.NextStream < 0 || st.NextStream >= len(g.streams) {
+		return fmt.Errorf("trace: snapshot nextStream %d out of range [0,%d)", st.NextStream, len(g.streams))
+	}
+	g.nextStream = st.NextStream
+	g.wb = restoreRun(st.WB)
+	g.burstClustersLeft = st.BurstClustersLeft
+	g.clusterLeft = st.ClusterLeft
+	g.pendingIdle = st.PendingIdle
+	g.burstsStarted = st.BurstsStarted
+	g.reads = st.Reads
+	g.writes = st.Writes
+	return nil
+}
