@@ -20,12 +20,24 @@
 // schedule is bit-identical; wall-clock speedup scales with real CPUs,
 // so the report records GOMAXPROCS alongside the timings.
 //
+// A third mode, -suite matrix, benchmarks the checkpoint-fork matrix
+// engine and the persistent alone-baseline store (DESIGN.md §18): the
+// fig5- and protocols-shaped matrices each run three ways — cold
+// (full run per cell, fresh baselines), baseline-cached (full runs
+// against a warm shared store), and fork-amortized (each mix's
+// FR-FCFS warm-up prefix checkpointed once and forked per policy) —
+// and the report (BENCH_matrix.json) records the three wall clocks,
+// the store's hit rate, and the oracle gate: every fork-amortized
+// cell must be bit-identical to an untimed scratch run of the same
+// fork-shaped config.
+//
 // Usage:
 //
 //	stfm-bench [-mix mcf,h264ref] [-policy FR-FCFS] [-instrs 100000] \
 //	           [-minmisses 150] [-repeat 3] [-sample-every 1000] \
 //	           [-parallel N] [-trace-out trace.json] [-o BENCH_stepping.json]
 //	stfm-bench -suite sched [-repeat 3] [-parallel N] [-o BENCH_sched.json]
+//	stfm-bench -suite matrix [-repeat 2] [-baseline-dir store/] [-o BENCH_matrix.json]
 package main
 
 import (
@@ -91,7 +103,8 @@ func main() {
 	sampleEvery := flag.Int64("sample-every", 1000, "telemetry sampling interval in DRAM cycles for the overhead run")
 	parallelFlag := flag.Int("parallel", 0, "channel-parallel stepping workers (single-mix: 0/1 = serial, -1 = one per CPU; sched suite: worker budget for the parallel column, 0 = one per CPU)")
 	traceOut := flag.String("trace-out", "", "write the telemetered run's event ring as a Chrome trace")
-	suite := flag.String("suite", "", `named suite to run instead of a single mix ("sched")`)
+	baselineDir := flag.String("baseline-dir", "", "matrix suite: persistent alone-baseline store directory shared with stfm-experiments/-sweep/-server (empty: a throwaway temp dir)")
+	suite := flag.String("suite", "", `named suite to run instead of a single mix ("sched", "matrix")`)
 	flag.Parse()
 
 	if *repeat < 1 {
@@ -107,9 +120,16 @@ func main() {
 		}
 		runSchedSuite(ctx, stop, *repeat, *parallelFlag, path)
 		return
+	case "matrix":
+		path := *out
+		if path == "BENCH_stepping.json" {
+			path = "BENCH_matrix.json"
+		}
+		runMatrixSuite(ctx, stop, *repeat, *parallelFlag, *baselineDir, path)
+		return
 	case "":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (only \"sched\" exists)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (known: \"sched\", \"matrix\")", *suite))
 	}
 	names := strings.Split(*mixFlag, ",")
 	profiles, err := experiments.Profiles(names...)
@@ -386,6 +406,317 @@ func runSchedSuite(ctx context.Context, stop context.CancelFunc, repeat, paralle
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// matrixSuiteInstrs is the per-thread instruction budget of the matrix
+// suite. Each mix's fork point is matrixWarmupNum/matrixWarmupDen of
+// its own FR-FCFS run length (probed untimed before the passes): mixes
+// range from 0.7M to 3.7M CPU cycles at this budget, so a single
+// global fork cycle would either overshoot the short runs or amortize
+// almost nothing of the long ones, while a per-mix fraction keeps the
+// shared warm-up prefix equally large everywhere.
+const (
+	matrixSuiteInstrs int64 = 60_000
+	matrixWarmupNum   int64 = 3
+	matrixWarmupDen   int64 = 4
+)
+
+// matrixPassMode selects how one timed pass executes the grid.
+type matrixPassMode int
+
+const (
+	// matrixPlain runs every cell full-length under its own policy —
+	// the pre-fork execution model and the cold/cached columns.
+	matrixPlain matrixPassMode = iota
+	// matrixScratch runs every cell full-length but fork-shaped
+	// (ForkAtCycle + WarmupPolicy set via mutate): the untimed scratch
+	// oracle the fork pass is gated against.
+	matrixScratch
+	// matrixFork plans each mix as a checkpoint-fork group
+	// (Options.ForkWarmup): warm-up once, one tail per policy.
+	matrixFork
+)
+
+// matrixCase is one benchmarked matrix shape: the same grid of
+// (mix, policy[, protocol]) cells timed cold, baseline-cached, and
+// fork-amortized. Cold and cached run the plain grid (every cell
+// full-length under its own policy); the fork pass pays each mix's
+// FR-FCFS warm-up prefix once and simulates only the post-switch tail
+// per policy, which is where its speedup comes from — the report's
+// ForkWarmupFrac states how much of the run is shared prefix. What the
+// fork pass computes is pinned by an untimed scratch pass running each
+// fork-shaped cell cold (CellsIdentical).
+type matrixCase struct {
+	ID        string `json:"id"`
+	Mixes     int    `json:"mixes"`
+	Policies  int    `json:"policies"`
+	Protocols int    `json:"protocols"`
+	Cells     int    `json:"cells"`
+	Instrs    int64  `json:"instr_target"`
+	// ForkWarmupFrac is each mix's policy-switch point as a fraction of
+	// its probed FR-FCFS run length, shared by the fork planner and the
+	// scratch cells' ForkAtCycle.
+	ForkWarmupFrac float64 `json:"fork_warmup_frac"`
+	// Wall clock per full matrix pass (best of -repeat):
+	// cold   = full run per cell + the full alone-baseline fleet;
+	// cached = full run per cell, baselines served by the store;
+	// fork   = checkpoint-fork groups, baselines served by the store.
+	ColdNs        int64   `json:"cold_ns"`
+	CachedNs      int64   `json:"cached_ns"`
+	ForkNs        int64   `json:"fork_ns"`
+	CachedSpeedup float64 `json:"cached_speedup"`
+	ForkSpeedup   float64 `json:"fork_speedup"`
+	// Baseline-store traffic observed by the fork pass's last
+	// repetition; a primed store makes the hit rate 1.0.
+	BaselineHits    int64   `json:"baseline_hits"`
+	BaselineMisses  int64   `json:"baseline_misses"`
+	BaselineHitRate float64 `json:"baseline_hit_rate"`
+	// CellsIdentical is the oracle gate: every fork-amortized cell's
+	// WorkloadResult (raw sim.Result and derived metrics) DeepEquals an
+	// untimed scratch run of the same fork-shaped config.
+	CellsIdentical bool `json:"cells_identical"`
+}
+
+type matrixReport struct {
+	Suite string `json:"suite"`
+	// GOMAXPROCS records the CPU budget: the matrix worker pool and the
+	// fork planner's per-mix groups both scale with real CPUs, so wall
+	// clocks from hosts with different CPU counts are not comparable
+	// (the speedup ratios largely are — both sides use the same pool).
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Repeat     int          `json:"repeat"`
+	Cases      []matrixCase `json:"cases"`
+}
+
+// runMatrixSuite benchmarks the two matrix shapes of DESIGN.md §18
+// against a shared alone-baseline store, writing BENCH_matrix.json.
+// The fork-amortized pass is gated on bit-exactness against the cold
+// pass; a divergence is a hard failure, not a report field.
+func runMatrixSuite(ctx context.Context, stop context.CancelFunc, repeat, parallel int, baselineDir, out string) {
+	tempStore := baselineDir == ""
+	if tempStore {
+		dir, err := os.MkdirTemp("", "stfm-bench-baseline-")
+		if err != nil {
+			fatal(err)
+		}
+		baselineDir = dir
+	}
+
+	interruptible := func(err error) {
+		if errors.Is(err, sim.ErrCanceled) || errors.Is(err, sim.ErrDeadline) {
+			fmt.Fprintln(os.Stderr, "stfm-bench: interrupted, no report written:", err)
+			stop()
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+
+	runCase := func(spec experiments.MatrixSpec) matrixCase {
+		protocols := spec.Protocols
+		if len(protocols) == 0 {
+			protocols = []dram.Protocol{""}
+		}
+
+		// Probe (untimed): each mix's plain FR-FCFS run length fixes its
+		// fork point. The probe config replicates a matrix cell's warm-up
+		// run exactly, so the fork cycle is guaranteed to land inside it.
+		warmups := make([][]int64, len(protocols))
+		for pi, proto := range protocols {
+			warmups[pi] = make([]int64, len(spec.Mixes))
+			for mi, m := range spec.Mixes {
+				cfg := sim.DefaultConfig(sim.PolicyFRFCFS, len(m.Profiles))
+				cfg.InstrTarget = matrixSuiteInstrs
+				cfg.MinMisses = 150
+				cfg.Seed = 1
+				cfg.Protocol = proto
+				cfg.Channels = sim.ProtocolChannels(proto, len(m.Profiles))
+				cfg.Parallel = parallel
+				res, err := sim.RunContext(ctx, cfg, m.Profiles)
+				if err != nil {
+					interruptible(err)
+				}
+				warmups[pi][mi] = res.TotalCycles * matrixWarmupNum / matrixWarmupDen
+			}
+		}
+
+		// One full pass over every protocol plane of the grid. Every
+		// pass's runners share one fresh BaselineStore on dir (""
+		// = memory-only), so its Stats describe exactly that pass. Mixes
+		// run one RunMatrix call each because the fork planner takes its
+		// (per-mix) warm-up cycle from Options.
+		runPass := func(dir string, mode matrixPassMode) (planes [][]map[sim.PolicyKind]*experiments.WorkloadResult, d time.Duration, stats experiments.BaselineStats) {
+			store, err := experiments.NewBaselineStore(dir)
+			if err != nil {
+				fatal(err)
+			}
+			start := time.Now()
+			for pi, proto := range protocols {
+				plane := make([]map[sim.PolicyKind]*experiments.WorkloadResult, 0, len(spec.Mixes))
+				for mi, mix := range spec.Mixes {
+					w := warmups[pi][mi]
+					opts := experiments.Options{
+						InstrTarget: matrixSuiteInstrs, MinMisses: 150, Seed: 1,
+						Protocol: proto, Parallel: parallel, Baseline: store,
+					}
+					var mutate func(*sim.Config)
+					switch mode {
+					case matrixFork:
+						opts.ForkWarmup = w
+					case matrixScratch:
+						mutate = func(cfg *sim.Config) {
+							cfg.ForkAtCycle = w
+							cfg.WarmupPolicy = sim.PolicyFRFCFS
+						}
+					}
+					r := experiments.NewRunnerContext(ctx, opts)
+					res, err := r.RunMatrix([]workloads.Mix{mix}, spec.Policies, mutate)
+					if err != nil {
+						interruptible(err)
+					}
+					plane = append(plane, res[0])
+				}
+				planes = append(planes, plane)
+			}
+			return planes, time.Since(start), store.Stats()
+		}
+
+		// Prime the shared store with the alone fleet (untimed): the
+		// cached and fork passes measure matrix execution against a warm
+		// store, the steady state of repeated sweeps sharing a directory.
+		// The cold pass is indifferent to the disk — it runs memory-only.
+		for _, proto := range protocols {
+			r := experiments.NewRunnerContext(ctx, experiments.Options{
+				InstrTarget: matrixSuiteInstrs, MinMisses: 150, Seed: 1,
+				Protocol: proto, Parallel: parallel, BaselineDir: baselineDir,
+			})
+			channels := sim.ProtocolChannels(proto, len(spec.Mixes[0].Profiles))
+			for _, p := range distinctProfiles(spec.Mixes) {
+				if _, err := r.Alone(p, channels); err != nil {
+					interruptible(err)
+				}
+			}
+		}
+
+		// The untimed scratch oracle: every fork-shaped cell run cold.
+		oraclePlanes, _, _ := runPass(baselineDir, matrixScratch)
+
+		// Timed repetitions interleave the three passes (cold, cached,
+		// fork) and rotate their order every repetition, so neither slow
+		// throughput drift on a shared host nor the suite's own growing
+		// heap systematically favors whichever pass runs first;
+		// best-of-repeat then discards the drifted repetitions. Cold pays
+		// the full alone fleet every repetition (memory-only store per
+		// pass); cached and fork read the primed shared store.
+		var forkPlanes [][]map[sim.PolicyKind]*experiments.WorkloadResult
+		var forkStats experiments.BaselineStats
+		coldT := time.Duration(1<<63 - 1)
+		cachedT := coldT
+		forkT := coldT
+		passes := []func(){
+			func() {
+				if _, d, _ := runPass("", matrixPlain); d < coldT {
+					coldT = d
+				}
+			},
+			func() {
+				if _, d, _ := runPass(baselineDir, matrixPlain); d < cachedT {
+					cachedT = d
+				}
+			},
+			func() {
+				planes, d, st := runPass(baselineDir, matrixFork)
+				if d < forkT {
+					forkT = d
+				}
+				forkPlanes, forkStats = planes, st
+			},
+		}
+		for i := 0; i < repeat; i++ {
+			for j := range passes {
+				runtime.GC()
+				passes[(i+j)%len(passes)]()
+			}
+		}
+
+		identical := true
+		for pi := range oraclePlanes {
+			for mi := range oraclePlanes[pi] {
+				for pol, oracle := range oraclePlanes[pi][mi] {
+					if !reflect.DeepEqual(oracle, forkPlanes[pi][mi][pol]) {
+						identical = false
+					}
+				}
+			}
+		}
+
+		c := matrixCase{
+			ID:         spec.ID,
+			Mixes:      len(spec.Mixes),
+			Policies:   len(spec.Policies),
+			Protocols:  len(spec.Protocols),
+			Cells:          spec.Cells(),
+			Instrs:         matrixSuiteInstrs,
+			ForkWarmupFrac: float64(matrixWarmupNum) / float64(matrixWarmupDen),
+
+			ColdNs:        coldT.Nanoseconds(),
+			CachedNs:      cachedT.Nanoseconds(),
+			ForkNs:        forkT.Nanoseconds(),
+			CachedSpeedup: coldT.Seconds() / cachedT.Seconds(),
+			ForkSpeedup:   coldT.Seconds() / forkT.Seconds(),
+
+			BaselineHits:   forkStats.Hits,
+			BaselineMisses: forkStats.Misses,
+
+			CellsIdentical: identical,
+		}
+		if total := forkStats.Hits + forkStats.Misses; total > 0 {
+			c.BaselineHitRate = float64(forkStats.Hits) / float64(total)
+		}
+		fmt.Printf("%s: %d cells, cold %v, cached %v (%.2fx), fork %v (%.2fx), hit rate %.0f%%, identical=%v\n",
+			c.ID, c.Cells, coldT, cachedT, c.CachedSpeedup, forkT, c.ForkSpeedup,
+			100*c.BaselineHitRate, c.CellsIdentical)
+		if !identical {
+			fatal(fmt.Errorf("%s: fork-amortized cells diverged from the cold scratch oracle", spec.ID))
+		}
+		return c
+	}
+
+	rep := matrixReport{Suite: "matrix", GOMAXPROCS: runtime.GOMAXPROCS(0), Repeat: repeat}
+	for _, id := range []string{"fig5", "protocols"} {
+		spec, err := experiments.MatrixByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Cases = append(rep.Cases, runCase(spec))
+	}
+	if tempStore {
+		os.RemoveAll(baselineDir)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// distinctProfiles lists each benchmark appearing in the mixes once, in
+// first-appearance order: the alone-baseline fleet of a matrix.
+func distinctProfiles(mixes []workloads.Mix) []trace.Profile {
+	seen := make(map[string]bool)
+	var out []trace.Profile
+	for _, m := range mixes {
+		for _, p := range m.Profiles {
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        status and progress
 //	GET    /v1/jobs/{id}/result completed result
+//	POST   /v1/jobs/{id}/fork   fork the simulation under new policies
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/healthz          liveness
 //	GET    /v1/stats            counters and job-duration percentiles
@@ -52,6 +53,7 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "directory for the result cache's disk spill (empty = memory only)")
 		sampleEvery  = flag.Int64("sample-every", 5000, "progress sampling interval in DRAM cycles")
 		jobParallel  = flag.Int("job-parallel", 0, "cap on each job's channel-parallel stepping workers (0 = CPUs divided by -workers, negative = uncapped; results are bit-identical either way)")
+		baselineDir  = flag.String("baseline-dir", "", "directory for the shared alone-baseline store: completed 1-core FR-FCFS jobs spill here and matching submissions are served from it; share with stfm-experiments/-sweep/-bench (empty = disabled)")
 		journalDir   = flag.String("journal-dir", "", "directory for the durable job journal and checkpoints; restarts re-enqueue pending jobs and resume from checkpoints (empty = no journal)")
 		ckptEvery    = flag.Int64("checkpoint-every", 0, "checkpoint period for journaled jobs in CPU cycles (0 = 250000, negative = journal without checkpoints)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
@@ -63,6 +65,7 @@ func main() {
 		Workers:         *workers,
 		QueueSize:       *queueSize,
 		CacheDir:        *cacheDir,
+		BaselineDir:     *baselineDir,
 		SampleEvery:     *sampleEvery,
 		JobParallel:     *jobParallel,
 		JournalDir:      *journalDir,

@@ -42,6 +42,7 @@ func main() {
 		instrs   = flag.Int64("instrs", 200_000, "per-thread instruction budget")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		parallel = flag.Int("parallel", 0, "channel-parallel stepping workers per run (0/1 = serial, -1 = one per CPU; results are bit-identical)")
+		baseline = flag.String("baseline-dir", "", "persistent alone-baseline store directory, shared across runs and tools (empty: memory-only)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and periodic runtime metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 	runCtx = ctx
 	protoPack = dram.Protocol(*protocol)
 	parWorkers = *parallel
+	baselineDir = *baseline
 	if protoPack != "" && !protoPack.Known() {
 		fmt.Fprintf(os.Stderr, "stfm-sweep: unknown protocol %q (known: %v)\n", protoPack, dram.Protocols())
 		os.Exit(1)
@@ -117,13 +119,17 @@ var (
 	// parWorkers is the -parallel flag: the stepping-engine worker
 	// budget every sweep simulation runs with (schedule-neutral).
 	parWorkers int
+	// baselineDir is the -baseline-dir flag: every sweep runner spills
+	// its alone-run baselines there, so repeated sweeps (and other
+	// tools) skip recomputing the Talone denominators.
+	baselineDir string
 )
 
 func runner(instrs int64, seed uint64, geom *dram.Geometry, channels int) *experiments.Runner {
 	return experiments.NewRunnerContext(runCtx, experiments.Options{
 		InstrTarget: instrs, MinMisses: 150, Seed: seed,
 		Protocol: protoPack, Geometry: geom, Channels: channels,
-		Parallel: parWorkers,
+		Parallel: parWorkers, BaselineDir: baselineDir,
 	})
 }
 
@@ -140,7 +146,7 @@ func sweepProtocol(names []string, instrs int64, seed uint64, pols []sim.PolicyK
 	for _, p := range dram.Protocols() {
 		r := experiments.NewRunnerContext(runCtx, experiments.Options{
 			InstrTarget: instrs, MinMisses: 150, Seed: seed, Protocol: p,
-			Parallel: parWorkers,
+			Parallel: parWorkers, BaselineDir: baselineDir,
 		})
 		for _, pol := range pols {
 			wr, err := r.RunWorkload(pol, profs, nil)

@@ -43,8 +43,29 @@ type Options struct {
 	// run (sim.Config.Parallel): 0/1 serial, negative auto-sized to
 	// GOMAXPROCS. Schedule-neutral — results and alone baselines are
 	// bit-identical either way (DESIGN.md §16) — so it does not enter
-	// aloneKey.
+	// the baseline key (sim.Config.Fingerprint excludes it).
 	Parallel int
+	// BaselineDir spills alone-run baselines to a persistent
+	// content-addressed store (DESIGN.md §18): runners and processes
+	// pointed at the same directory share one alone-run fleet instead of
+	// each recomputing the Talone denominators. Empty keeps baselines
+	// in memory only. A directory that cannot be created degrades to
+	// memory-only — the store is an accelerator, never a correctness
+	// dependency.
+	BaselineDir string
+	// Baseline, if non-nil, is an existing store to share (e.g. the
+	// stfm-server's), overriding BaselineDir.
+	Baseline *BaselineStore
+	// ForkWarmup, when positive, plans matrix executions (RunMatrix) as
+	// checkpoint-fork groups: each (mix, protocol) runs once under
+	// FR-FCFS to a checkpoint at this CPU cycle and every policy cell
+	// forks from it, amortizing the warm-up prefix K ways. Results are
+	// bit-identical to cold runs of Config{ForkAtCycle: ForkWarmup}
+	// cells (sim.TestForkEquivalence); note that an active fork is a
+	// DIFFERENT simulation than a plain one — the policy only governs
+	// cycles after the switch — so fork-mode cells are content-addressed
+	// separately. 0 keeps the cold per-cell path.
+	ForkWarmup int64
 	// Telemetry, when enabled, attaches a fresh telemetry.Collector to
 	// every shared workload run (alone-run baselines stay untelemetered,
 	// since their only purpose is the Talone denominator of Section 6.2).
@@ -67,10 +88,13 @@ type Runner struct {
 	// canceled, in-progress runs abort with partial results and
 	// sim.ErrCanceled / sim.ErrDeadline.
 	ctx context.Context
+	// baseline holds the alone-run baselines: per-key singleflight for
+	// concurrent matrix cells, optionally disk-backed (Options.
+	// BaselineDir) or shared with other components (Options.Baseline).
+	baseline *BaselineStore
 
-	mu    sync.Mutex
-	alone map[string]sim.ThreadResult
-	runs  []RunTelemetry
+	mu   sync.Mutex
+	runs []RunTelemetry
 }
 
 // RunTelemetry pairs one shared workload run with the telemetry it
@@ -97,11 +121,25 @@ func NewRunnerContext(ctx context.Context, opts Options) *Runner {
 	if opts.InstrTarget <= 0 {
 		opts.InstrTarget = DefaultOptions().InstrTarget
 	}
-	return &Runner{opts: opts, ctx: ctx, alone: make(map[string]sim.ThreadResult)}
+	store := opts.Baseline
+	if store == nil {
+		var err error
+		store, err = NewBaselineStore(opts.BaselineDir)
+		if err != nil {
+			// An unusable spill directory costs persistence, not
+			// correctness: fall back to a memory-only store.
+			store = newMemBaselineStore()
+		}
+	}
+	return &Runner{opts: opts, ctx: ctx, baseline: store}
 }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
+
+// Baseline returns the runner's alone-baseline store (never nil), so
+// callers can read its hit/miss counters or share it across runners.
+func (r *Runner) Baseline() *BaselineStore { return r.baseline }
 
 func (r *Runner) baseConfig(policy sim.PolicyKind, cores int) sim.Config {
 	cfg := sim.DefaultConfig(policy, cores)
@@ -116,37 +154,34 @@ func (r *Runner) baseConfig(policy sim.PolicyKind, cores int) sim.Config {
 	return cfg
 }
 
-// aloneKey captures everything that changes an alone-run baseline.
-func (r *Runner) aloneKey(name string, channels int) string {
-	key := fmt.Sprintf("%s/p%s/ch%d/i%d/m%d/s%d", name, r.opts.Protocol, channels, r.opts.InstrTarget, r.opts.MinMisses, r.opts.Seed)
-	if g := r.opts.Geometry; g != nil {
-		key += fmt.Sprintf("/b%d/rb%d", g.BanksPerChannel, g.RowBufferBytes)
-	}
-	return key
+// aloneConfig is the configuration of one alone-run baseline: the
+// benchmark running alone in the same memory system under FR-FCFS
+// (Section 6.2). Everything that changes the baseline is captured by
+// this config's Fingerprint, which is what BaselineKey hashes.
+func (r *Runner) aloneConfig(channels int) sim.Config {
+	cfg := r.baseConfig(sim.PolicyFRFCFS, 1)
+	cfg.Channels = channels
+	return cfg
 }
 
 // Alone returns the benchmark's alone-run result in a memory system
-// with the given channel count, computing and caching it on first use.
+// with the given channel count, computing it on first use. Safe for
+// concurrent use: callers racing on the same baseline block on one
+// compute (BaselineStore.Do), and distinct baselines compute in
+// parallel.
 func (r *Runner) Alone(p trace.Profile, channels int) (sim.ThreadResult, error) {
-	key := r.aloneKey(p.Name, channels)
-	r.mu.Lock()
-	if res, ok := r.alone[key]; ok {
-		r.mu.Unlock()
+	cfg := r.aloneConfig(channels)
+	res, err := r.baseline.Do(r.ctx, BaselineKey(cfg, p.Name), func() (*sim.Result, error) {
+		res, err := sim.RunContext(r.ctx, cfg, []trace.Profile{p})
+		if err != nil {
+			return nil, fmt.Errorf("alone run of %s: %w", p.Name, err)
+		}
 		return res, nil
-	}
-	r.mu.Unlock()
-
-	cfg := r.baseConfig(sim.PolicyFRFCFS, 1)
-	cfg.Channels = channels
-	res, err := sim.RunContext(r.ctx, cfg, []trace.Profile{p})
+	})
 	if err != nil {
-		return sim.ThreadResult{}, fmt.Errorf("alone run of %s: %w", p.Name, err)
+		return sim.ThreadResult{}, err
 	}
-	th := res.Threads[0]
-	r.mu.Lock()
-	r.alone[key] = th
-	r.mu.Unlock()
-	return th, nil
+	return res.Threads[0], nil
 }
 
 // WorkloadResult is one (workload, scheduler) data point with all of
@@ -156,6 +191,11 @@ type WorkloadResult struct {
 	Policy     sim.PolicyKind
 	Benchmarks []string
 	Shared     []sim.ThreadResult
+	// Result is the raw shared-run sim.Result the metrics derive from
+	// (Result.Threads == Shared). Fork-amortized matrix cells being
+	// bit-identical to their cold scratch oracle is asserted against
+	// this field (stfm-bench -suite matrix).
+	Result *sim.Result
 	AloneMCPI  []float64
 	AloneIPC   []float64
 	// Slowdowns are the per-thread memory slowdowns
@@ -204,10 +244,20 @@ func (r *Runner) RunWorkload(policy sim.PolicyKind, profiles []trace.Profile, mu
 	if err != nil {
 		return nil, err
 	}
+	return r.assembleWorkloadResult(policy, profiles, channels, res)
+}
+
+// assembleWorkloadResult turns one completed shared run into the
+// paper's metrics against the cached alone baselines. It is the shared
+// tail of the cold path (RunWorkload) and the checkpoint-fork path
+// (RunMatrix with Options.ForkWarmup), so both produce structurally
+// identical WorkloadResults.
+func (r *Runner) assembleWorkloadResult(policy sim.PolicyKind, profiles []trace.Profile, channels int, res *sim.Result) (*WorkloadResult, error) {
 	wr := &WorkloadResult{
 		Policy:     policy,
 		Benchmarks: trace.Names(profiles),
 		Shared:     res.Threads,
+		Result:     res,
 	}
 	sharedIPC := make([]float64, len(profiles))
 	sharedMCPI := make([]float64, len(profiles))

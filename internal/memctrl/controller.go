@@ -416,6 +416,40 @@ func (c *Controller) setPolicy(p Policy) {
 	_, c.chLocalOrder = p.(ChannelLocalOrder)
 }
 
+// SwitchPolicy replaces the scheduling policy mid-run and normalizes
+// every piece of cached scheduling state so the switch is
+// schedule-deterministic: a run that switches at cycle t and a
+// checkpoint taken at t then restored under the new policy continue
+// bit-identically.
+//
+// Three caches could otherwise leak decisions across the switch:
+//
+//   - the per-bank winner memos, which are keyed on the OLD policy's
+//     OrderEpoch — a fresh policy's epoch may collide with a stale one
+//     (both start at zero), validating a winner the new policy would
+//     never pick;
+//   - the per-channel no-issue horizons, computed under the old
+//     policy's candidate ordering;
+//   - nextWake, which may sit beyond an edge the new policy (e.g. an
+//     EventPolicy with nearer events) must observe.
+//
+// SwitchPolicy clears the first two and pulls nextWake to the DRAM
+// edge at-or-after now — at-or-after, not strictly-after, so that when
+// the switch lands exactly on an unprocessed edge both dense-tick and
+// event-stepped runs process that edge under the new policy.
+func (c *Controller) SwitchPolicy(now int64, p Policy) {
+	c.setPolicy(p)
+	for i := range c.memo {
+		c.memo[i] = bankMemo{}
+	}
+	for i := range c.chHorizon {
+		c.chHorizon[i] = 0
+	}
+	if e := c.edgeCeil(now); e < c.nextWake {
+		c.nextWake = e
+	}
+}
+
 // Policy returns the installed scheduling policy.
 func (c *Controller) Policy() Policy { return c.policy }
 

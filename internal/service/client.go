@@ -260,6 +260,16 @@ func (c *Client) Result(ctx context.Context, id string) (ResultResponse, error) 
 	return rr, err
 }
 
+// Fork posts a fork request against a parent job and returns the
+// created child jobs.
+func (c *Client) Fork(ctx context.Context, id string, req ForkRequest) (*SubmitResponse, error) {
+	var resp SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/fork", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Cancel requests cancellation and returns the job's state after it.
 func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
 	var info JobInfo

@@ -21,6 +21,7 @@ type errorBody struct {
 //	GET    /v1/jobs            list all jobs
 //	GET    /v1/jobs/{id}        job status and progress
 //	GET    /v1/jobs/{id}/result completed result (409 until terminal)
+//	POST   /v1/jobs/{id}/fork   fork the job's simulation under new policies
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/healthz          liveness
 //	GET    /v1/stats            operational counters
@@ -30,6 +31,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/fork", s.handleFork)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -106,6 +108,35 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		// Still queued or running: the result does not exist yet.
 		writeJSON(w, http.StatusConflict, rr)
+	}
+}
+
+func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
+	var req ForkRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Fork(r.PathValue("id"), req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, resp)
+	case errors.Is(err, ErrNoSuchJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		var re *RequestError
+		if errors.As(err, &re) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 

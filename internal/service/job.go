@@ -87,6 +87,9 @@ type JobInfo struct {
 	// a server restart (DESIGN.md §17) rather than submitted to this
 	// process.
 	Recovered bool `json:"recovered,omitempty"`
+	// ForkOf names the parent job for children created through
+	// POST /v1/jobs/{id}/fork.
+	ForkOf string `json:"forkOf,omitempty"`
 	// ResumedFromCycle is the CPU cycle the job's execution resumed
 	// from when it was restored from a checkpoint instead of starting
 	// over; 0 for jobs that ran from cycle zero.
@@ -139,6 +142,13 @@ type job struct {
 	recovered  bool
 	resumeFrom string
 
+	// forkOf / fork are set on fork children before publication: forkOf
+	// names the parent job, fork points at the request's shared warm-up
+	// snapshot (nil on recovered children, which replay the warm-up via
+	// cfg.ForkAtCycle instead).
+	forkOf string
+	fork   *forkGroup
+
 	mu         sync.Mutex
 	status     JobStatus
 	cached     bool
@@ -187,6 +197,7 @@ func (j *job) info() JobInfo {
 		Fingerprint:      j.fp,
 		Cached:           j.cached,
 		Recovered:        j.recovered,
+		ForkOf:           j.forkOf,
 		ResumedFromCycle: j.resumedFromCycle,
 		Progress:         j.progressLocked(),
 		SubmittedAt:      j.submittedAt,

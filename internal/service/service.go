@@ -61,6 +61,15 @@ type Options struct {
 	// period does not change results — only how much work a crash can
 	// lose.
 	CheckpointEvery int64
+	// BaselineDir enables the shared alone-baseline store (DESIGN.md
+	// §18): completed alone-shaped jobs — one benchmark under FR-FCFS,
+	// no fork prefix, exactly the runs experiments.Runner.Alone issues —
+	// are spilled to this content-addressed directory, and submissions
+	// matching a stored baseline are served from it without queueing.
+	// Pointing the server and batch tools (stfm-experiments, stfm-sweep,
+	// stfm-bench -baseline-dir) at the same directory gives them one
+	// alone-run fleet. "" disables the store.
+	BaselineDir string
 	// Chaos installs the deterministic fault-injection harness on the
 	// server's durability paths; nil runs fault-free. Test use.
 	Chaos *Chaos
@@ -85,7 +94,10 @@ type Server struct {
 	opts  Options
 	queue *queue
 	cache *Cache
-	start time.Time
+	// baseline is the shared alone-baseline store; nil when
+	// Options.BaselineDir is unset.
+	baseline *experiments.BaselineStore
+	start    time.Time
 
 	// wal / ckptDir are the durable-journal state; nil/"" when
 	// Options.JournalDir is unset. chaos is the fault-injection
@@ -134,12 +146,19 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	cache.chaos = opts.Chaos
+	var baseline *experiments.BaselineStore
+	if opts.BaselineDir != "" {
+		if baseline, err = experiments.NewBaselineStore(opts.BaselineDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
-		opts:  opts,
-		cache: cache,
-		start: time.Now(),
-		jobs:  make(map[string]*job),
-		chaos: opts.Chaos,
+		opts:     opts,
+		cache:    cache,
+		baseline: baseline,
+		start:    time.Now(),
+		jobs:     make(map[string]*job),
+		chaos:    opts.Chaos,
 	}
 	// Journal replay happens before the queue exists so the queue can be
 	// sized to hold every re-enqueued job: recovery must never drop work
@@ -277,6 +296,15 @@ func (s *Server) Submit(req JobRequest) (*SubmitResponse, error) {
 			j.cached = true
 			j.result = res
 			j.finishedAt = time.Now()
+		} else if res, ok := s.baselineGet(j); ok {
+			// Alone-shaped submission with a stored baseline: served from
+			// the shared store, same as a cache hit. Content-addressed by
+			// the identical fingerprint experiments.BaselineKey hashes, so
+			// the stored Result is bit-identical to a fresh run's.
+			j.status = StatusDone
+			j.cached = true
+			j.result = res
+			j.finishedAt = time.Now()
 		} else {
 			fresh = append(fresh, j)
 		}
@@ -391,6 +419,24 @@ func (s *Server) expand(req JobRequest) ([]*job, error) {
 		}
 	}
 	return cells, nil
+}
+
+// aloneShaped reports whether a job is exactly an alone-run baseline:
+// one benchmark under FR-FCFS with no fork prefix, the shape
+// experiments.Runner.Alone computes for every Talone denominator. Only
+// such jobs touch the baseline store; everything else the store would
+// never be asked for.
+func aloneShaped(cfg sim.Config, workload []string) bool {
+	return len(workload) == 1 && cfg.Policy == sim.PolicyFRFCFS && cfg.ForkAtCycle == 0
+}
+
+// baselineGet serves an alone-shaped job from the shared baseline
+// store, when enabled.
+func (s *Server) baselineGet(j *job) (*sim.Result, bool) {
+	if s.baseline == nil || !aloneShaped(j.cfg, j.workload) {
+		return nil, false
+	}
+	return s.baseline.Get(experiments.BaselineKey(j.cfg, j.workload[0]))
 }
 
 // newJob resolves the workload and builds one queued job.
@@ -617,6 +663,11 @@ func (s *Server) runJob(j *job) (crashed bool) {
 		if cerr := s.cache.Put(j.fp, res); cerr != nil {
 			s.logf("job %s: %v", j.id, cerr)
 		}
+		if s.baseline != nil && aloneShaped(j.cfg, j.workload) {
+			// Feed the shared baseline store too, so batch tools pointed
+			// at the same -baseline-dir skip this alone run entirely.
+			s.baseline.Put(experiments.BaselineKey(j.cfg, j.workload[0]), res)
+		}
 	}
 	rec := walRecord{Type: walComplete, Job: j.id, Status: status}
 	if err != nil {
@@ -667,6 +718,30 @@ func (s *Server) execute(ctx context.Context, j *job, cfg sim.Config) (*sim.Resu
 				return sys.RunCheckpointed(ctx, sink)
 			}
 			return sys.RunContext(ctx)
+		}
+	}
+	if j.fork != nil {
+		// Fork child: restore the request's shared warm-up snapshot with
+		// the policy override instead of replaying the warm-up prefix.
+		// Any failure here falls through to the cold path below — the
+		// child's config carries ForkAtCycle/WarmupPolicy, so a fresh run
+		// IS the same simulation, just slower.
+		if snap, err := j.fork.snapshot(ctx, s); err != nil {
+			s.logf("job %s: fork warm-up failed, running cold: %v", j.id, err)
+		} else {
+			pol := cfg.Policy
+			sys, rerr := sim.Restore(snap, &sim.RestoreOptions{Telemetry: j.col, Parallel: &cfg.Parallel, Policy: &pol})
+			if rerr != nil {
+				s.logf("job %s: fork snapshot rejected, running cold: %v", j.id, rerr)
+			} else {
+				j.mu.Lock()
+				j.resumedFromCycle = sys.Now()
+				j.mu.Unlock()
+				if sink != nil {
+					return sys.RunCheckpointed(ctx, sink)
+				}
+				return sys.RunContext(ctx)
+			}
 		}
 	}
 	sys, err := sim.NewSystem(cfg, j.profiles)
@@ -805,14 +880,40 @@ type Stats struct {
 	JobP50Ms int64 `json:"jobP50Ms"`
 	JobP95Ms int64 `json:"jobP95Ms"`
 	JobMaxMs int64 `json:"jobMaxMs"`
+	// Baseline reports the shared alone-baseline store's counters
+	// (Options.BaselineDir); absent when the store is disabled.
+	Baseline *BaselineInfo `json:"baseline,omitempty"`
+}
+
+// BaselineInfo is the /v1/stats view of the shared alone-baseline
+// store.
+type BaselineInfo struct {
+	// Entries counts in-memory baselines (disk entries load lazily).
+	Entries int `json:"entries"`
+	// Hits / Misses are cumulative lookup counters.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Inflight is the number of baseline computes running right now.
+	Inflight int `json:"inflight"`
 }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
 	hits, misses := s.cache.Stats()
+	var baseline *BaselineInfo
+	if s.baseline != nil {
+		bs := s.baseline.Stats()
+		baseline = &BaselineInfo{
+			Entries:  s.baseline.Len(),
+			Hits:     bs.Hits,
+			Misses:   bs.Misses,
+			Inflight: bs.Inflight,
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
+		Baseline: baseline,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.opts.Workers,
 		JobParallel:   s.opts.JobParallel,

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"runtime/debug"
 
 	"stfm/internal/cache"
 	"stfm/internal/cpu"
@@ -179,6 +180,19 @@ type RestoreOptions struct {
 	// from a serial run onto the parallel engine (or vice versa) still
 	// continues bit-identically.
 	Parallel *int
+	// Policy, if non-nil, forks the checkpoint under a different
+	// scheduler: the machine state (queues, banks, cores, generators) is
+	// restored exactly, but the scheduler is a FRESH instance of the
+	// given kind — the snapshot's policy registers are discarded, even
+	// when the kinds match — and the controller's cached scheduling
+	// state is normalized as if the policy had been switched at the
+	// snapshot cycle. The continuation is bit-identical to a scratch run
+	// with Config{Policy: *Policy, WarmupPolicy: <saved policy>,
+	// ForkAtCycle: <snapshot cycle>} (TestForkEquivalence pins it),
+	// which is what lets one warm-up run fan out under K policies.
+	// The override also clears the saved Config's ForkAtCycle and
+	// WarmupPolicy: the fork happens here, not on some later cycle.
+	Policy *PolicyKind
 }
 
 // Restore rebuilds a System from a Checkpoint blob. The returned
@@ -203,15 +217,35 @@ func Restore(data []byte, opts *RestoreOptions) (sys *System, err error) {
 	cfg := p.Config
 	cfg.Streams = nil
 	cfg.Telemetry = nil
+	forked := false
 	if opts != nil {
 		cfg.Telemetry = opts.Telemetry
 		if opts.Parallel != nil {
 			cfg.Parallel = *opts.Parallel
 		}
+		if opts.Policy != nil {
+			forked = true
+			cfg.Policy = *opts.Policy
+			cfg.ForkAtCycle = 0
+			cfg.WarmupPolicy = ""
+		}
 	}
 	s, err := NewSystem(cfg, p.Profiles)
 	if err != nil {
 		return nil, &CheckpointError{Stage: "restore", Err: err}
+	}
+	// A checkpoint of a fork-mode scratch run taken at-or-after its
+	// switch cycle carries the TARGET policy's registers, but NewSystem
+	// built the warm-up scheduler; rebuild the target before its state
+	// is restored below. runLoop's s.now guard then skips re-switching.
+	if !forked && cfg.ForkAtCycle > 0 && p.Now >= cfg.ForkAtCycle {
+		s.stfm = nil
+		tp, perr := s.buildPolicy(cfg.Policy, s.ctrl.Config())
+		if perr != nil {
+			return nil, &CheckpointError{Stage: "restore", Err: perr}
+		}
+		s.policy = tp
+		s.ctrl.SetPolicy(tp)
 	}
 	n := len(s.cores)
 	if len(p.Cores) != n || len(p.Frozen) != n || len(p.Results) != n || len(p.Targets) != n {
@@ -255,7 +289,7 @@ func Restore(data []byte, opts *RestoreOptions) (sys *System, err error) {
 	if err := s.ctrl.RestoreState(p.Controller, resolve); err != nil {
 		return nil, &CheckpointError{Stage: "restore", Err: err}
 	}
-	if p.Policy != nil {
+	if p.Policy != nil && !forked {
 		sp, ok := s.policy.(memctrl.StatefulPolicy)
 		if !ok {
 			return nil, ckptErr("restore", "payload carries %s policy state but the policy is stateless", cfg.Policy)
@@ -265,6 +299,12 @@ func Restore(data []byte, opts *RestoreOptions) (sys *System, err error) {
 		}
 	}
 	s.now = p.Now
+	if forked {
+		// Normalize the controller's cached scheduling state exactly as
+		// the scratch run's switch does (same SwitchPolicy call), so the
+		// forked continuation and the scratch oracle step identically.
+		s.ctrl.SwitchPolicy(s.now, s.policy)
+	}
 	copy(s.frozen, p.Frozen)
 	copy(s.results, p.Results)
 	copy(s.targets, p.Targets)
@@ -352,4 +392,59 @@ func (s *System) RunCheckpointed(ctx context.Context, sink *CheckpointSink) (*Re
 		return nil, ckptErr("save", "RunCheckpointed needs a sink with a positive period and a Write func")
 	}
 	return s.runLoop(ctx, sink)
+}
+
+// CheckpointAt advances the system to exactly the given CPU cycle and
+// returns a checkpoint taken there: the warm-up half of checkpoint-fork
+// execution. Stepping mirrors RunContext's event-horizon jumps with the
+// target cycle as one more fixed boundary, so the prefix schedule is
+// bit-identical to a full run's — a fork restored from the returned
+// snapshot continues exactly as that run would from the same cycle.
+//
+// The run may stop short of cycle: at the cycle budget, or when every
+// thread froze first. The checkpoint is then taken at that earlier
+// quiescent point, which still forks correctly — the scratch oracle's
+// switch simply never fires, in both executions. Runs canceled via ctx
+// return ErrCanceled/ErrDeadline and no checkpoint. Unlike RunContext,
+// CheckpointAt has no watchdog: a livelocked warm-up burns its cycle
+// budget instead of aborting early. Panics inside the stepped window
+// surface as a *SimError, like RunContext's.
+func (s *System) CheckpointAt(ctx context.Context, cycle int64) (data []byte, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			data = nil
+			err = &SimError{Cycle: s.now, Check: "panic", Err: panicErr(v), Stack: debug.Stack()}
+		}
+	}()
+	defer s.ctrl.StopWorkers()
+	if cycle < 0 {
+		return nil, ckptErr("save", "negative checkpoint cycle %d", cycle)
+	}
+	maxCycles := s.cfg.CycleBudget(s.profiles)
+	done := ctx.Done()
+	for s.now < cycle && s.now < maxCycles && !s.allFrozen() {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctxErr(ctx, s.now)
+			default:
+			}
+		}
+		next := s.step()
+		if next <= s.now || s.allFrozen() {
+			continue
+		}
+		if next > maxCycles {
+			next = maxCycles
+		}
+		if next > cycle {
+			next = cycle
+		}
+		for s.nextSampleAt < next {
+			s.now = s.nextSampleAt
+			s.takeSample(s.now)
+		}
+		s.now = next
+	}
+	return s.Checkpoint()
 }

@@ -27,7 +27,11 @@ import (
 // Fingerprint itself: the empty value and DDR2 (bit-identical
 // configurations, since the DDR2 pack IS the default timing/geometry)
 // must share the historical digest, while every other protocol gets
-// its own.
+// its own. ForkAtCycle and WarmupPolicy follow the same pattern: a
+// disabled fork (ForkAtCycle == 0) is bit-identical to a plain run and
+// must share its digest, while an active fork — which really does
+// change the schedule — is encoded explicitly with the warm-up kind
+// resolved to its FR-FCFS default.
 var fingerprintSkip = map[string]bool{
 	"Streams":         true,
 	"Telemetry":       true,
@@ -36,6 +40,8 @@ var fingerprintSkip = map[string]bool{
 	"WatchdogCycles":  true,
 	"CheckInvariants": true,
 	"Protocol":        true,
+	"ForkAtCycle":     true,
+	"WarmupPolicy":    true,
 }
 
 // Fingerprint returns a canonical, field-order-independent SHA-256 hash
@@ -59,6 +65,11 @@ func (cfg Config) Fingerprint() string {
 	// pre-protocol digest and keep old cache entries addressable.
 	if cfg.Protocol != "" && cfg.Protocol != dram.DDR2 {
 		fmt.Fprintf(&b, "Protocol=%q\n", cfg.Protocol)
+	}
+	// Fork mode is encoded only when active; the warm-up kind is
+	// resolved so explicit FR-FCFS and the empty default share a digest.
+	if cfg.ForkAtCycle > 0 {
+		fmt.Fprintf(&b, "ForkAtCycle=%d\nWarmupPolicy=%q\n", cfg.ForkAtCycle, cfg.warmupKind())
 	}
 	writeCanonical(&b, "", reflect.ValueOf(cfg), fingerprintSkip)
 	sum := sha256.Sum256([]byte(b.String()))

@@ -107,6 +107,20 @@ type Config struct {
 	// NFQWeights, if non-nil, gives NFQ per-thread bandwidth shares
 	// proportional to these weights (Section 7.5).
 	NFQWeights []float64 `json:"nfqWeights,omitempty"`
+	// ForkAtCycle, when positive, runs the simulation's warm-up prefix
+	// under WarmupPolicy and switches to Policy at exactly this CPU
+	// cycle: the scheduler is rebuilt from scratch (its accumulated
+	// registers are NOT carried across the switch) and every derived
+	// scheduling cache is invalidated. This is the scratch oracle for
+	// checkpoint-fork execution: a run that checkpoints under
+	// WarmupPolicy at this cycle and is restored with a
+	// RestoreOptions.Policy override produces a bit-identical Result
+	// (TestForkEquivalence pins it). 0 disables the switch.
+	ForkAtCycle int64 `json:"forkAtCycle,omitempty"`
+	// WarmupPolicy is the scheduler driving cycles [0, ForkAtCycle);
+	// empty selects FR-FCFS. Only meaningful with ForkAtCycle > 0
+	// (Validate rejects it otherwise).
+	WarmupPolicy PolicyKind `json:"warmupPolicy,omitempty"`
 	// UseCaches runs the full L1/L2 hierarchy; traces are then
 	// interpreted as load/store addresses rather than miss streams.
 	UseCaches bool `json:"useCaches"`
@@ -352,7 +366,13 @@ func NewSystem(cfg Config, profiles []trace.Profile) (*System, error) {
 	}
 	s.ctrl = ctrl
 
-	policy, err := s.buildPolicy(mcfg)
+	// Fork-mode runs start under the warm-up scheduler; runLoop rebuilds
+	// the target policy at the switch cycle.
+	kind := cfg.Policy
+	if cfg.ForkAtCycle > 0 {
+		kind = cfg.warmupKind()
+	}
+	policy, err := s.buildPolicy(kind, mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -449,10 +469,19 @@ func (cfg Config) CycleBudget(profiles []trace.Profile) int64 {
 	return longest * 80
 }
 
-func (s *System) buildPolicy(mcfg memctrl.Config) (memctrl.Policy, error) {
+// warmupKind resolves the scheduler driving a fork-mode run's warm-up
+// prefix: Config.WarmupPolicy, defaulting to FR-FCFS.
+func (cfg Config) warmupKind() PolicyKind {
+	if cfg.WarmupPolicy != "" {
+		return cfg.WarmupPolicy
+	}
+	return PolicyFRFCFS
+}
+
+func (s *System) buildPolicy(kind PolicyKind, mcfg memctrl.Config) (memctrl.Policy, error) {
 	// The concrete policies live in memctrl/policy and internal/core;
 	// they are constructed here so callers select them by name.
-	switch s.cfg.Policy {
+	switch kind {
 	case PolicyFRFCFS, "":
 		return newFRFCFS(), nil
 	case PolicyFCFS:
@@ -477,8 +506,28 @@ func (s *System) buildPolicy(mcfg memctrl.Config) (memctrl.Policy, error) {
 		s.stfm = st
 		return st, nil
 	default:
-		return nil, fmt.Errorf("sim: unknown policy %q", s.cfg.Policy)
+		return nil, fmt.Errorf("sim: unknown policy %q", kind)
 	}
+}
+
+// switchToTarget replaces the running scheduler with a freshly built
+// instance of Config.Policy, the fork-mode switch at ForkAtCycle. The
+// target starts from its initial registers — nothing the warm-up
+// scheduler accumulated is carried over — and the controller's cached
+// scheduling state is normalized (memctrl.Controller.SwitchPolicy), so
+// the continuation is bit-identical to restoring a checkpoint taken at
+// this cycle under a RestoreOptions.Policy override.
+func (s *System) switchToTarget() error {
+	// Reset the STFM diagnostics hook first: finish() must report zero
+	// STFM diagnostics unless the TARGET policy is STFM.
+	s.stfm = nil
+	p, err := s.buildPolicy(s.cfg.Policy, s.ctrl.Config())
+	if err != nil {
+		return err
+	}
+	s.policy = p
+	s.ctrl.SwitchPolicy(s.now, p)
+	return nil
 }
 
 // tshared is the per-thread cumulative stall counter the cores
@@ -716,6 +765,14 @@ func (s *System) runLoop(ctx context.Context, sink *CheckpointSink) (res *Result
 	if sink != nil && sink.Every > 0 {
 		nextCkptAt = s.now + sink.Every
 	}
+	// The fork-mode policy switch is one more fixed cycle boundary.
+	// Guarding on s.now makes restores of fork-run checkpoints taken
+	// at-or-after the switch (which already carry the target policy, see
+	// Restore) skip it.
+	nextSwitchAt := int64(horizon)
+	if s.cfg.ForkAtCycle > 0 && s.now < s.cfg.ForkAtCycle {
+		nextSwitchAt = s.cfg.ForkAtCycle
+	}
 	for s.now < maxCycles && !s.allFrozen() {
 		if done != nil {
 			select {
@@ -723,6 +780,18 @@ func (s *System) runLoop(ctx context.Context, sink *CheckpointSink) (res *Result
 				return s.finish(), ctxErr(ctx, s.now)
 			default:
 			}
+		}
+		if s.now >= nextSwitchAt {
+			// Before this cycle's step, exactly where a checkpoint at the
+			// same boundary would be taken — the forked continuation's
+			// first step is at this cycle too. Switching before the
+			// checkpoint check means a sink snapshot at the switch cycle
+			// captures the target policy, keeping such checkpoints
+			// restorable without re-switching.
+			if serr := s.switchToTarget(); serr != nil {
+				return s.finish(), serr
+			}
+			nextSwitchAt = horizon
 		}
 		if s.now >= nextCkptAt {
 			if data, cerr := s.Checkpoint(); cerr != nil {
@@ -765,6 +834,9 @@ func (s *System) runLoop(ctx context.Context, sink *CheckpointSink) (res *Result
 		}
 		if next > nextCkptAt {
 			next = nextCkptAt
+		}
+		if next > nextSwitchAt {
+			next = nextSwitchAt
 		}
 		// Sampling boundaries inside the quiescent window still get
 		// their snapshots: jump to each boundary and sample there,

@@ -48,6 +48,17 @@ func (cfg Config) Validate() error {
 	if cfg.Protocol != "" && !cfg.Protocol.Known() {
 		bad("Protocol", "unknown protocol %q (known: %v)", cfg.Protocol, dram.Protocols())
 	}
+	if cfg.ForkAtCycle < 0 {
+		bad("ForkAtCycle", "must be non-negative, got %d", cfg.ForkAtCycle)
+	}
+	switch cfg.WarmupPolicy {
+	case "", PolicyFRFCFS, PolicyFCFS, PolicyFRFCFSCap, PolicyNFQ, PolicySTFM, PolicyPARBS, PolicyTCM:
+	default:
+		bad("WarmupPolicy", "unknown policy %q", cfg.WarmupPolicy)
+	}
+	if cfg.WarmupPolicy != "" && cfg.ForkAtCycle <= 0 {
+		bad("WarmupPolicy", "set without ForkAtCycle > 0: the warm-up scheduler only runs before a fork switch")
+	}
 	if cfg.Channels < 0 {
 		bad("Channels", "must be non-negative, got %d", cfg.Channels)
 	}
